@@ -1,0 +1,99 @@
+// Experiment E6 — tree data structure on LLX/SCX (claim C-H, §6).
+//
+// The external BST built from the paper's tree-update shapes vs a
+// coarse-locked std::map (the container a C++ user gets by default).
+// Grid: key range × update ratio × threads; ops/second per cell.
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "bench/bench_common.h"
+#include "ds/bst_llxscx.h"
+#include "ds/patricia_llxscx.h"
+#include "util/random.h"
+
+namespace llxscx {
+namespace {
+
+// Default-container baseline.
+class LockedStdMap {
+ public:
+  std::optional<std::uint64_t> get(std::uint64_t k) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(k);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.emplace(k, v).second;
+  }
+  bool erase(std::uint64_t k) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.erase(k) > 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::uint64_t> map_;
+};
+
+template <typename MapT>
+double run_cell(int threads, unsigned update_pct, std::uint64_t key_range) {
+  MapT map;
+  {
+    Xoshiro256 rng(1);
+    for (std::uint64_t i = 0; i < key_range / 2; ++i) {
+      map.insert(1 + rng.below(key_range), i);
+    }
+  }
+  const auto r = bench::run_phase(
+      threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
+        Xoshiro256 rng(200 + t);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = 1 + rng.below(key_range);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < update_pct / 2) {
+            map.insert(key, key);
+          } else if (dice < update_pct) {
+            map.erase(key);
+          } else {
+            map.get(key);
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return r.ops_per_sec();
+}
+
+void run() {
+  std::printf("E6: BST (LLX/SCX external tree) vs locked std::map, "
+              "%d ms per cell\n\n", bench::phase_millis());
+  for (std::uint64_t range : {std::uint64_t{1000}, std::uint64_t{100000}}) {
+    std::printf("key range = %llu\n", static_cast<unsigned long long>(range));
+    bench::Table t(
+        {"threads", "upd%", "llxscx-bst", "llxscx-patricia", "locked std::map"});
+    for (int threads : {1, 2, 4}) {
+      for (unsigned upd : {10u, 50u}) {
+        t.add_row({std::to_string(threads), std::to_string(upd),
+                   bench::fmt(run_cell<LlxScxBst>(threads, upd, range) / 1e6, 3) + "M",
+                   bench::fmt(run_cell<LlxScxPatricia>(threads, upd, range) / 1e6, 3) + "M",
+                   bench::fmt(run_cell<LockedStdMap>(threads, upd, range) / 1e6, 3) + "M"});
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  Epoch::drain_all_for_testing();
+}
+
+}  // namespace
+}  // namespace llxscx
+
+int main() {
+  llxscx::run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Shared harness for the experiment binaries: timed multi-threaded phases,
+// throughput accounting, and aligned table printing.
+//
+// Every binary prints a self-contained table matching the experiment index
+// in DESIGN.md §4; EXPERIMENTS.md records the measured output against the
+// paper's claims. Durations are deliberately short by default (the full
+// bench suite must run in minutes on a laptop-class host); override with
+// the LLXSCX_BENCH_MS environment variable for longer, steadier runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.h"
+#include "util/stats.h"
+
+namespace llxscx::bench {
+
+inline int phase_millis() {
+  if (const char* env = std::getenv("LLXSCX_BENCH_MS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 200;
+}
+
+struct PhaseResult {
+  std::uint64_t total_ops = 0;
+  double seconds = 0;
+  StepCounts steps;  // aggregated across worker threads for the phase
+
+  double ops_per_sec() const { return seconds > 0 ? total_ops / seconds : 0; }
+};
+
+// Runs `worker(thread_index, stop_flag)` on `threads` threads for
+// `phase_millis()` ms after a common start line; the worker returns its
+// completed-operation count.
+inline PhaseResult run_phase(
+    int threads,
+    const std::function<std::uint64_t(int, const std::atomic<bool>&)>& worker) {
+  SpinBarrier barrier(threads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(threads, 0);
+  std::vector<StepCounts> steps(threads);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Stats::reset_mine();
+      barrier.arrive_and_wait();
+      ops[t] = worker(t, stop);
+      steps[t] = Stats::my_snapshot();
+    });
+  }
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(phase_millis()));
+  stop.store(true);
+  for (auto& th : pool) th.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  PhaseResult r;
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  for (int t = 0; t < threads; ++t) {
+    r.total_ops += ops[t];
+    r.steps += steps[t];
+  }
+  return r;
+}
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row(headers_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "-+-";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row, width);
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(width[c], ' ');
+      line += cell;
+      if (c + 1 < width.size()) line += " | ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace llxscx::bench

@@ -1,0 +1,57 @@
+// Experiment E5 — plain-read searches vs LLX-per-node searches (claim C-G).
+//
+// Proposition 2 (§4.3) is what entitles Get/Search to traverse with simple
+// reads of next pointers "instead of the more expensive LLX operations".
+// This google-benchmark binary quantifies the gap as ns per Get on lists of
+// varying length (the traversal dominates, so the per-node cost difference
+// scales with list length).
+#include <benchmark/benchmark.h>
+
+#include "ds/multiset_llxscx.h"
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+namespace {
+
+LlxScxMultiset* build_list(std::int64_t keys) {
+  auto* ms = new LlxScxMultiset;
+  for (std::int64_t k = 1; k <= keys; ++k) ms->insert(static_cast<std::uint64_t>(k), 1);
+  return ms;
+}
+
+void BM_GetPlainReads(benchmark::State& state) {
+  static LlxScxMultiset* ms = nullptr;
+  static std::int64_t built = -1;
+  if (built != state.range(0)) {
+    delete ms;
+    ms = build_list(state.range(0));
+    built = state.range(0);
+  }
+  const std::uint64_t key = static_cast<std::uint64_t>(state.range(0));  // worst case: tail
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms->get(key));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GetPlainReads)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GetLlxTraversal(benchmark::State& state) {
+  static LlxScxMultiset* ms = nullptr;
+  static std::int64_t built = -1;
+  if (built != state.range(0)) {
+    delete ms;
+    ms = build_list(state.range(0));
+    built = state.range(0);
+  }
+  const std::uint64_t key = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms->get_llx_traversal(key));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GetLlxTraversal)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace llxscx
+
+BENCHMARK_MAIN();
