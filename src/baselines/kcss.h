@@ -1,0 +1,78 @@
+// k-compare-single-swap baseline (Luchangco, Moir, Shavit, SPAA'03 — the
+// paper's §2 comparison point): swap one word provided k-1 other words
+// hold expected values. Obstruction-free only.
+//
+// The E1 cost shape per uncontended success: 1 CAS + (2k-1) reads —
+// load-link the target (1 read), collect the compare words (k-1 reads),
+// re-validate the snapshot (k-1 reads), then a single store-conditional
+// CAS on the target.
+//
+// LL/SC is emulated with a tag in the word's upper 32 bits, bumped on
+// every successful SC, so the SC genuinely fails if the target changed
+// since the LL (a raw value CAS would admit ABA on the target and commit
+// a swap whose compares did not hold at any single point). Values are
+// therefore limited to 32 bits here — fine for the step-count and
+// throughput experiments this baseline exists for.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/stats.h"
+
+namespace llxscx {
+
+class LlScWord {
+ public:
+  explicit LlScWord(std::uint64_t v = 0) : raw_(v & kValueMask) {}
+
+  std::uint64_t load() {
+    Stats::count_read();
+    return raw_.load(std::memory_order_seq_cst) & kValueMask;
+  }
+
+  static constexpr std::uint64_t kValueMask = 0xffffffffULL;
+
+  std::atomic<std::uint64_t> raw_;  // tag<<32 | value
+};
+
+class Kcss {
+ public:
+  struct Compare {
+    LlScWord* addr;
+    std::uint64_t expected;
+  };
+
+  static bool kcss(LlScWord* target, std::uint64_t old_val,
+                   std::uint64_t new_val, const Compare* cmps, std::size_t n) {
+    Stats::count_read();  // load-link of the target (value + tag)
+    const std::uint64_t ll =
+        target->raw_.load(std::memory_order_seq_cst);
+    if ((ll & LlScWord::kValueMask) != old_val) return false;
+    for (std::size_t i = 0; i < n; ++i) {  // collect values
+      Stats::count_read();
+      if ((cmps[i].addr->raw_.load(std::memory_order_seq_cst) &
+           LlScWord::kValueMask) != cmps[i].expected) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {  // snapshot validation
+      Stats::count_read();
+      if ((cmps[i].addr->raw_.load(std::memory_order_seq_cst) &
+           LlScWord::kValueMask) != cmps[i].expected) {
+        return false;
+      }
+    }
+    // Store-conditional: bumping the tag makes this fail on ANY
+    // intervening change to the target, not just a value mismatch.
+    const std::uint64_t tag = ll >> 32;
+    std::uint64_t expected = ll;
+    Stats::count_cas();
+    return target->raw_.compare_exchange_strong(
+        expected, ((tag + 1) << 32) | (new_val & LlScWord::kValueMask),
+        std::memory_order_seq_cst);
+  }
+};
+
+}  // namespace llxscx

@@ -1,0 +1,134 @@
+// Multi-word CAS baseline (the paper's §2 comparator; claims C-B and E7).
+//
+// Harris/Fraser-style MCAS with a shared status descriptor: phase 1
+// installs a tagged descriptor pointer into each word with a CAS expecting
+// the old value, the status CAS decides the operation, and phase 2 CASes
+// each word from the descriptor to its final value. An uncontended success
+// therefore costs exactly 2k+1 CAS — the linear-in-k cost SCX avoids.
+//
+// Values are stored shifted left one bit so descriptor pointers (tagged
+// with bit 0) never collide with values. Descriptors are reclaimed through
+// reclaim/epoch.h; callers must hold an Epoch::Guard across mcas()/load().
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "reclaim/epoch.h"
+#include "util/stats.h"
+
+namespace llxscx {
+
+class McasWord {
+ public:
+  explicit McasWord(std::uint64_t v = 0) : raw_(v << 1) {}
+
+  std::uint64_t load();  // helping read (defined after Mcas)
+
+  std::atomic<std::uint64_t> raw_;
+};
+
+class Mcas {
+ public:
+  struct Entry {
+    McasWord* addr;
+    std::uint64_t expected;
+    std::uint64_t desired;
+  };
+
+  static constexpr std::size_t kMaxK = 16;
+
+  static bool mcas(const Entry* entries, std::size_t k) {
+    assert(k >= 1 && k <= kMaxK);
+    auto* d = new Desc;
+    Stats::count_alloc();
+    d->k = k;
+    for (std::size_t i = 0; i < k; ++i) d->e[i] = entries[i];
+    // Address order prevents two overlapping MCAS operations from helping
+    // each other in a cycle.
+    std::sort(d->e, d->e + k,
+              [](const Entry& a, const Entry& b) { return a.addr < b.addr; });
+    const bool ok = help(d) == kSuccess;
+    Epoch::retire(d);  // helpers may still hold d
+    return ok;
+  }
+
+ private:
+  friend class McasWord;
+
+  enum Status : int { kUndecided = 0, kSuccess = 1, kFailed = 2 };
+
+  struct Desc {
+    Entry e[kMaxK];
+    std::size_t k = 0;
+    std::atomic<int> status{kUndecided};
+  };
+
+  static std::uint64_t pack(std::uint64_t v) { return v << 1; }
+  static bool is_desc(std::uint64_t raw) { return raw & 1; }
+  static Desc* desc_of(std::uint64_t raw) {
+    return reinterpret_cast<Desc*>(raw & ~std::uint64_t{1});
+  }
+  static std::uint64_t tag(Desc* d) {
+    return reinterpret_cast<std::uint64_t>(d) | 1;
+  }
+
+  static int help(Desc* d) {
+    // Phase 1: install d into each word (first helper to pass a word wins).
+    std::size_t i = 0;
+    for (; i < d->k && d->status.load(std::memory_order_seq_cst) == kUndecided;
+         ++i) {
+      for (;;) {
+        std::uint64_t cur = pack(d->e[i].expected);
+        Stats::count_cas();
+        if (d->e[i].addr->raw_.compare_exchange_strong(
+                cur, tag(d), std::memory_order_seq_cst)) {
+          break;
+        }
+        if (cur == tag(d)) break;  // another helper installed for us
+        if (is_desc(cur)) {
+          help(desc_of(cur));  // someone else's operation owns the word
+          continue;
+        }
+        // Plain value != expected: the MCAS fails.
+        int expect = kUndecided;
+        Stats::count_cas();
+        d->status.compare_exchange_strong(expect, kFailed,
+                                          std::memory_order_seq_cst);
+        break;
+      }
+      if (d->status.load(std::memory_order_seq_cst) != kUndecided) break;
+    }
+    if (i == d->k) {
+      int expect = kUndecided;
+      Stats::count_cas();  // the deciding CAS (the +1 of 2k+1)
+      d->status.compare_exchange_strong(expect, kSuccess,
+                                        std::memory_order_seq_cst);
+    }
+    // Phase 2: replace the descriptor with the outcome value everywhere it
+    // was installed.
+    const int st = d->status.load(std::memory_order_seq_cst);
+    for (std::size_t j = 0; j < d->k; ++j) {
+      std::uint64_t cur = tag(d);
+      Stats::count_cas();
+      d->e[j].addr->raw_.compare_exchange_strong(
+          cur, pack(st == kSuccess ? d->e[j].desired : d->e[j].expected),
+          std::memory_order_seq_cst);
+    }
+    return st;
+  }
+};
+
+inline std::uint64_t McasWord::load() {
+  for (;;) {
+    Stats::count_read();
+    const std::uint64_t raw = raw_.load(std::memory_order_seq_cst);
+    if (!Mcas::is_desc(raw)) return raw >> 1;
+    Mcas::help(Mcas::desc_of(raw));
+  }
+}
+
+}  // namespace llxscx

@@ -1,0 +1,237 @@
+// The paper's Fig. 6 multiset: a sorted singly-linked list of
+// ⟨key, count⟩ Data-records built directly on LLX/SCX.
+//
+// SCX carries a usage assumption (§3): the value passed as `new` must
+// never have appeared in `fld` before — otherwise a stalled helper's late
+// update CAS could re-succeed after the field has moved on and back
+// (value ABA). Under the paper's garbage collector that is free: every
+// `new` is a freshly allocated node. This implementation keeps the same
+// discipline explicitly:
+//
+//   - a node's key and count are immutable; changing a count REPLACES the
+//     node (finalizing the old one),
+//   - removing a node also replaces its successor with a fresh copy (the
+//     k=3 "full-delete shape" E1 measures), so the successor's address is
+//     never written back into pred.next,
+//   - the list ends in a tail sentinel node (never null), so an empty
+//     position is also represented by a fresh address.
+//
+// Every SCX therefore installs a pointer to a node allocated within the
+// current operation; epoch reclamation keeps such an address from being
+// recycled while any thread that could help the SCX holds a guard.
+//
+// Shapes (DESIGN.md §6):
+//   insert, key absent   — SCX(V=⟨pred⟩,            R=∅,          pred.next ← n)
+//   insert, key present  — SCX(V=⟨pred,cur⟩,        R=⟨cur⟩,      pred.next ← n′)
+//   erase, partial count — SCX(V=⟨pred,cur⟩,        R=⟨cur⟩,      pred.next ← n′)
+//   erase, full count    — SCX(V=⟨pred,cur,succ⟩,   R=⟨cur,succ⟩, pred.next ← succ′)
+//
+// Get traverses with plain reads of next pointers (Proposition 2, §4.3);
+// get_llx_traversal is the deliberately-expensive variant E5 compares
+// against. Finalized nodes are retired through reclaim/epoch.h by the
+// thread whose SCX removed them; the Leaky alias skips that retire for the
+// E8 ablation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "llxscx/llx_scx.h"
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+
+struct MultisetNode : DataRecord<1> {
+  static constexpr std::size_t kNext = 0;
+
+  struct TailTag {};
+
+  MultisetNode(std::uint64_t k, std::uint64_t c, MultisetNode* n)
+      : key(k), count(c), tail(false) {
+    mut(kNext).store(reinterpret_cast<std::uint64_t>(n),
+                     std::memory_order_relaxed);
+  }
+  explicit MultisetNode(TailTag) : key(0), count(0), tail(true) {}
+
+  const std::uint64_t key;
+  const std::uint64_t count;
+  const bool tail;  // end-of-list sentinel (compares greater than any key)
+};
+
+template <bool kReclaim>
+class BasicLlxScxMultiset {
+ public:
+  using Node = MultisetNode;
+
+  BasicLlxScxMultiset() {
+    head_.mut(Node::kNext).store(
+        reinterpret_cast<std::uint64_t>(new Node(Node::TailTag{})),
+        std::memory_order_relaxed);
+  }
+  ~BasicLlxScxMultiset() {
+    // Quiescent teardown; removed-but-unreclaimed nodes are the epoch's
+    // (or, for the leaky variant, nobody's).
+    Node* cur = next_of(&head_);
+    while (cur != nullptr) {
+      Node* next = cur->tail ? nullptr : next_of(cur);
+      delete cur;
+      cur = next;
+    }
+  }
+  BasicLlxScxMultiset(const BasicLlxScxMultiset&) = delete;
+  BasicLlxScxMultiset& operator=(const BasicLlxScxMultiset&) = delete;
+
+  bool insert(std::uint64_t key, std::uint64_t count = 1) {
+    Epoch::Guard g;
+    for (;;) {
+      Node* pred = locate(key);
+      auto lp = llx(pred);
+      if (!lp.ok()) continue;
+      Node* cur = to_node(lp.field(Node::kNext));
+      if (!cur->tail && cur->key < key) continue;  // stale position
+      if (!cur->tail && cur->key == key) {
+        auto lc = llx(cur);
+        if (!lc.ok()) continue;
+        Node* repl = new Node(key, cur->count + count,
+                              to_node(lc.field(Node::kNext)));
+        const LinkedLlx v[2] = {lp.link(), lc.link()};
+        if (scx(v, 2, /*finalize cur=*/0b10, &pred->mut(Node::kNext),
+                as_word(cur), as_word(repl))) {
+          if (kReclaim) retire_record(cur);
+          return true;
+        }
+        delete repl;  // SCX aborted: repl was never published
+      } else {
+        Node* n = new Node(key, count, cur);
+        const LinkedLlx v[1] = {lp.link()};
+        if (scx(v, 1, 0, &pred->mut(Node::kNext), as_word(cur), as_word(n))) {
+          return true;
+        }
+        delete n;
+      }
+    }
+  }
+
+  // Removes up to `count` copies of key; returns how many were removed.
+  std::uint64_t erase(std::uint64_t key, std::uint64_t count = 1) {
+    Epoch::Guard g;
+    for (;;) {
+      Node* pred = locate(key);
+      auto lp = llx(pred);
+      if (!lp.ok()) continue;
+      Node* cur = to_node(lp.field(Node::kNext));
+      if (!cur->tail && cur->key < key) continue;
+      if (cur->tail || cur->key != key) return 0;
+      auto lc = llx(cur);
+      if (!lc.ok()) continue;
+      const LinkedLlx v2[2] = {lp.link(), lc.link()};
+      if (cur->count > count) {
+        Node* repl =
+            new Node(key, cur->count - count, to_node(lc.field(Node::kNext)));
+        if (scx(v2, 2, 0b10, &pred->mut(Node::kNext), as_word(cur),
+                as_word(repl))) {
+          if (kReclaim) retire_record(cur);
+          return count;
+        }
+        delete repl;
+      } else {
+        // Full removal: the k=3 shape. The successor is finalized too and
+        // replaced by a fresh copy, so pred.next receives a value it has
+        // never held (see header comment).
+        Node* succ = to_node(lc.field(Node::kNext));
+        auto ls = llx(succ);
+        if (!ls.ok()) continue;
+        Node* repl = succ->tail
+                         ? new Node(Node::TailTag{})
+                         : new Node(succ->key, succ->count,
+                                    to_node(ls.field(Node::kNext)));
+        const std::uint64_t removed = cur->count;
+        const LinkedLlx v3[3] = {lp.link(), lc.link(), ls.link()};
+        if (scx(v3, 3, /*finalize cur+succ=*/0b110, &pred->mut(Node::kNext),
+                as_word(cur), as_word(repl))) {
+          if (kReclaim) {
+            retire_record(cur);
+            retire_record(succ);
+          }
+          return removed;
+        }
+        delete repl;
+      }
+    }
+  }
+
+  bool delete_one(std::uint64_t key) { return erase(key, 1) != 0; }
+
+  // Multiplicity of key, traversing with plain reads (Proposition 2).
+  std::uint64_t get(std::uint64_t key) const {
+    Epoch::Guard g;
+    const Node* cur = next_of(&head_);
+    while (!cur->tail && cur->key < key) cur = next_of(cur);
+    return (!cur->tail && cur->key == key) ? cur->count : 0;
+  }
+
+  // The E5 strawman: the same search but LLX-ing every node on the path,
+  // restarting whenever a node is frozen or finalized underfoot.
+  std::uint64_t get_llx_traversal(std::uint64_t key) const {
+    Epoch::Guard g;
+    for (;;) {
+      auto lh = llx(&head_);
+      if (!lh.ok()) continue;
+      const Node* cur = to_node(lh.field(Node::kNext));
+      bool restart = false;
+      while (!cur->tail) {
+        auto lc = llx(cur);
+        if (!lc.ok()) {
+          restart = true;
+          break;
+        }
+        if (cur->key >= key) return cur->key == key ? cur->count : 0;
+        cur = to_node(lc.field(Node::kNext));
+      }
+      if (!restart) return 0;
+    }
+  }
+
+  // Ordered ⟨key, count⟩ snapshot. Quiescent callers only (tests).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
+      out.emplace_back(cur->key, cur->count);
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t as_word(const Node* n) {
+    return reinterpret_cast<std::uint64_t>(n);
+  }
+  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static Node* next_of(const Node* n) {
+    Stats::count_read();
+    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+  }
+
+  // Plain-read search for the last node with key' < key (possibly the
+  // sentinel head). The caller re-derives the successor from its LLX of
+  // the returned node and revalidates the position.
+  Node* locate(std::uint64_t key) const {
+    const Node* pred = &head_;
+    const Node* cur = next_of(pred);
+    while (!cur->tail && cur->key < key) {
+      pred = cur;
+      cur = next_of(cur);
+    }
+    return const_cast<Node*>(pred);
+  }
+
+  // Head sentinel; its key/count are never compared. The list always ends
+  // in a tail-flagged node, so next pointers on the search path are never
+  // null.
+  Node head_{0, 0, nullptr};
+};
+
+using LlxScxMultiset = BasicLlxScxMultiset<true>;
+using LeakyLlxScxMultiset = BasicLlxScxMultiset<false>;
+
+}  // namespace llxscx

@@ -1,0 +1,325 @@
+// LLX/SCX — the paper's pragmatic primitives (§3), over multi-word
+// Data-records.
+//
+//   LLX(r)            — load-link extended: returns a snapshot of r's
+//                       mutable fields, or FAIL (r is frozen / changed
+//                       underfoot), or FINALIZED (r was removed).
+//   SCX(V, R, fld, …) — store-conditional extended: atomically verify that
+//                       no record in V changed since this thread's LLX of
+//                       it, write `new` into the single mutable field fld,
+//                       and finalize the records in R. Lock-free;
+//                       implemented with one freezing CAS per record plus
+//                       one update CAS (the k+1 CAS of claim C-A).
+//   VLX(V)            — validate-extended: k shared reads (claim C-C).
+//
+// Memory management: the paper assumes a garbage collector ("in other
+// languages, such as C++, memory management is an issue", §6). Here the
+// GC edges are made explicit: every SCX-record carries a reference count
+// covering (a) Data-records whose info pointer is installed on it and
+// (b) the info_fields entries of live SCX-records that name it. A
+// descriptor whose count drops to zero is retired through reclaim/epoch.h,
+// which also shields in-flight readers: any pointer loaded from a record's
+// info field while an Epoch::Guard is held stays valid (possibly dead, but
+// never freed) until the guard drops — that is what makes using a
+// displaced descriptor as a freezing-CAS expected value ABA-safe.
+//
+// Every shared step is instrumented through util/stats.h so E1/E7 can
+// check the paper's step counts exactly.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "reclaim/epoch.h"
+#include "util/stats.h"
+
+namespace llxscx {
+
+class DataRecordBase;
+
+// SCX-record: the operation descriptor (paper Fig. 1). One is allocated per
+// SCX attempt and shared with helpers through the records it freezes.
+class ScxRecord {
+ public:
+  static constexpr std::size_t kMaxV = 16;
+
+  enum State : int { kInProgress = 0, kCommitted = 1, kAborted = 2 };
+
+  ScxRecord() { Stats::count_alloc(); }
+  ~ScxRecord();
+
+  // Reference counting (the explicit GC edges). try_acquire refuses a
+  // descriptor already on its way to the epoch limbo list, so a reference
+  // can never resurrect one.
+  bool try_acquire() {
+    std::uint64_t c = refs_.load(std::memory_order_seq_cst);
+    while (c != 0) {
+      if (refs_.compare_exchange_weak(c, c + 1, std::memory_order_seq_cst)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void ref_install() { refs_.fetch_add(1, std::memory_order_seq_cst); }
+  void release() {
+    if (refs_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      Epoch::retire(this);
+    }
+  }
+
+  // Operation fields — written once by the creating thread in scx() before
+  // the descriptor is published, read-only to helpers (except state_ /
+  // all_frozen_, which helpers write).
+  DataRecordBase* v_[kMaxV] = {};
+  ScxRecord* info_fields_[kMaxV] = {};
+  std::size_t k_ = 0;
+  std::size_t acquired_ = 0;  // how many info_fields_ references we hold
+  std::uint32_t finalize_mask_ = 0;
+  std::atomic<std::uint64_t>* fld_ = nullptr;
+  std::uint64_t old_ = 0;
+  std::uint64_t new_ = 0;
+  std::atomic<int> state_{kInProgress};
+  std::atomic<bool> all_frozen_{false};
+
+ private:
+  std::atomic<std::uint64_t> refs_{1};  // creator's reference
+
+  friend ScxRecord* detail_dummy_scx();
+};
+
+// The initial descriptor every fresh Data-record points at (state Aborted =
+// "unfrozen"). Its reference count starts astronomically high so release()
+// can treat it uniformly and it still never reaches the limbo list.
+inline ScxRecord* detail_dummy_scx() {
+  static ScxRecord* d = [] {
+    auto* r = new ScxRecord;
+    r->state_.store(ScxRecord::kAborted, std::memory_order_relaxed);
+    r->refs_.store(std::uint64_t{1} << 62, std::memory_order_relaxed);
+    return r;
+  }();
+  return d;
+}
+
+// Non-template base so SCX-records and helpers handle records of any width.
+class DataRecordBase {
+ public:
+  DataRecordBase() : info_(detail_dummy_scx()) { Stats::count_alloc(); }
+  ~DataRecordBase() {
+    // Quiescent by contract (the record is past its grace period or was
+    // never shared): drop the install edge to the current descriptor.
+    info_.load(std::memory_order_relaxed)->release();
+  }
+  DataRecordBase(const DataRecordBase&) = delete;
+  DataRecordBase& operator=(const DataRecordBase&) = delete;
+
+  std::atomic<ScxRecord*> info_;
+  std::atomic<bool> marked_{false};
+};
+
+// A Data-record with NumMut mutable fields (each one CAS-able word).
+// Immutable fields live in the derived struct as plain members. mut() is
+// const so read-only accessors on derived types can use it.
+template <std::size_t NumMut>
+class DataRecord : public DataRecordBase {
+ public:
+  static constexpr std::size_t kNumMut = NumMut;
+
+  std::atomic<std::uint64_t>& mut(std::size_t i) const { return mut_[i]; }
+
+ private:
+  mutable std::array<std::atomic<std::uint64_t>, NumMut> mut_ = {};
+};
+
+// What an LLX leaves behind for a later SCX/VLX: the record and the
+// descriptor witnessed in its info field (the paper's per-process table,
+// made explicit). Plain data — validity is covered by the caller's
+// Epoch::Guard, which must span the LLX and the SCX/VLX that consumes it.
+struct LinkedLlx {
+  DataRecordBase* rec = nullptr;
+  ScxRecord* info = nullptr;
+};
+
+template <std::size_t NumMut>
+class LlxResult {
+ public:
+  enum Status { kOk, kFail, kFinalized };
+
+  static LlxResult ok(const std::array<std::uint64_t, NumMut>& f, LinkedLlx l) {
+    LlxResult r;
+    r.status_ = kOk;
+    r.fields_ = f;
+    r.link_ = l;
+    return r;
+  }
+  static LlxResult fail() {
+    LlxResult r;
+    r.status_ = kFail;
+    return r;
+  }
+  static LlxResult finalized() {
+    LlxResult r;
+    r.status_ = kFinalized;
+    return r;
+  }
+
+  bool ok() const { return status_ == kOk; }
+  bool failed() const { return status_ == kFail; }
+  bool is_finalized() const { return status_ == kFinalized; }
+  std::uint64_t field(std::size_t i) const { return fields_[i]; }
+  LinkedLlx link() const { return link_; }
+
+ private:
+  Status status_ = kFail;
+  std::array<std::uint64_t, NumMut> fields_ = {};
+  LinkedLlx link_;
+};
+
+// Help(U) — paper Fig. 3. Runs the freezing loop, then marks, updates fld,
+// and commits; any thread may execute it for any descriptor. Returns
+// whether U committed.
+inline bool detail_help(ScxRecord* u) {
+  for (std::size_t i = 0; i < u->k_; ++i) {
+    DataRecordBase* r = u->v_[i];
+    ScxRecord* exp = u->info_fields_[i];
+    ScxRecord* witnessed = exp;
+    Stats::count_cas();  // freezing CAS (k of the k+1)
+    if (r->info_.compare_exchange_strong(witnessed, u,
+                                         std::memory_order_seq_cst)) {
+      // We won the install for (u, r): transfer r's install edge.
+      u->ref_install();
+      exp->release();
+    } else if (witnessed != u) {
+      // r is frozen for some other SCX. If U already has allFrozen set, a
+      // helper finished freezing before r moved on, so U committed.
+      Stats::count_read();
+      if (u->all_frozen_.load(std::memory_order_seq_cst)) return true;
+      Stats::count_write();
+      u->state_.store(ScxRecord::kAborted, std::memory_order_seq_cst);
+      return false;
+    }
+    // witnessed == u: another helper already froze r for U; keep going.
+  }
+  Stats::count_write();
+  u->all_frozen_.store(true, std::memory_order_seq_cst);
+  for (std::size_t i = 0; i < u->k_; ++i) {
+    if (u->finalize_mask_ & (1u << i)) {
+      Stats::count_write();
+      u->v_[i]->marked_.store(true, std::memory_order_seq_cst);
+    }
+  }
+  std::uint64_t expected = u->old_;
+  Stats::count_cas();  // update CAS (the +1)
+  u->fld_->compare_exchange_strong(expected, u->new_,
+                                   std::memory_order_seq_cst);
+  Stats::count_write();
+  u->state_.store(ScxRecord::kCommitted, std::memory_order_seq_cst);
+  return true;
+}
+
+inline ScxRecord::~ScxRecord() {
+  for (std::size_t i = 0; i < acquired_; ++i) info_fields_[i]->release();
+}
+
+// LLX(r) — paper Fig. 2. Caller must hold an Epoch::Guard across this call
+// and any SCX/VLX that consumes the returned link.
+template <std::size_t NumMut>
+LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
+  Stats::llx_call();
+  Stats::count_read(3);
+  const bool marked = r->marked_.load(std::memory_order_seq_cst);
+  ScxRecord* rinfo = r->info_.load(std::memory_order_seq_cst);
+  const int state = rinfo->state_.load(std::memory_order_seq_cst);
+
+  if (state == ScxRecord::kAborted ||
+      (state == ScxRecord::kCommitted && !marked)) {
+    // r was unfrozen at the read of state: snapshot the mutable fields and
+    // confirm no SCX intervened.
+    std::array<std::uint64_t, NumMut> f;
+    for (std::size_t i = 0; i < NumMut; ++i) {
+      f[i] = r->mut(i).load(std::memory_order_seq_cst);
+    }
+    Stats::count_read(NumMut + 1);
+    if (r->info_.load(std::memory_order_seq_cst) == rinfo) {
+      return LlxResult<NumMut>::ok(
+          f, LinkedLlx{const_cast<DataRecord<NumMut>*>(r), rinfo});
+    }
+  }
+
+  // r is (or was) frozen. If its freezer finalized it, report FINALIZED;
+  // otherwise help whoever holds it and report FAIL.
+  bool committed = state == ScxRecord::kCommitted;
+  if (state == ScxRecord::kInProgress) {
+    Stats::helped();
+    committed = detail_help(rinfo);
+  }
+  if (committed && marked) return LlxResult<NumMut>::finalized();
+
+  ScxRecord* cur = r->info_.load(std::memory_order_seq_cst);
+  Stats::count_read(2);
+  if (cur->state_.load(std::memory_order_seq_cst) == ScxRecord::kInProgress) {
+    Stats::helped();
+    detail_help(cur);
+  }
+  Stats::llx_failed();
+  return LlxResult<NumMut>::fail();
+}
+
+// SCX(V, R, fld, new) — paper Fig. 3. `v[0..k)` are links from this
+// thread's LLXs (all under the current Epoch::Guard); `finalize_mask` bit i
+// selects v[i] for R; `fld` must be a mutable field of some record in V and
+// `old` its value from the corresponding LLX snapshot.
+inline bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
+                std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
+                std::uint64_t new_val) {
+  assert(k >= 1 && k <= ScxRecord::kMaxV);
+  Stats::scx_call();
+  auto* u = new ScxRecord;
+  u->k_ = k;
+  u->finalize_mask_ = finalize_mask;
+  u->fld_ = fld;
+  u->old_ = old_val;
+  u->new_ = new_val;
+  for (std::size_t i = 0; i < k; ++i) {
+    u->v_[i] = v[i].rec;
+    u->info_fields_[i] = v[i].info;
+    if (!v[i].info->try_acquire()) {
+      // v[i].info already hit zero references, so v[i].rec has been
+      // re-frozen since the LLX: this SCX must fail. u was never
+      // published, so it can be destroyed in place (releasing the
+      // references acquired so far).
+      u->acquired_ = i;
+      delete u;
+      Stats::scx_failed();
+      return false;
+    }
+    u->acquired_ = i + 1;
+  }
+  const bool ok = detail_help(u);
+  u->release();  // creator's reference
+  if (!ok) Stats::scx_failed();
+  return ok;
+}
+
+// VLX(V) — k shared reads (claim C-C): each record is unchanged since its
+// LLX iff its info field still names the linked descriptor.
+inline bool vlx(const LinkedLlx* v, std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) {
+    Stats::count_read();
+    if (v[i].rec->info_.load(std::memory_order_seq_cst) != v[i].info) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Retire a finalized Data-record through epoch reclamation. Call exactly
+// once, from the thread whose SCX finalized it.
+template <typename T>
+void retire_record(T* r) {
+  Epoch::retire(r);
+}
+
+}  // namespace llxscx

@@ -1,0 +1,208 @@
+// Epoch-based reclamation (DESIGN.md §2).
+//
+// The paper's implementation leans on a garbage collector ("in other
+// languages, such as C++, memory management is an issue" — §6). This repo
+// substitutes classic EBR: threads pin the global epoch while they may hold
+// references into a structure; removed Data-records and displaced
+// SCX-records go onto per-thread limbo lists stamped with the epoch at
+// retirement, and a node is freed once every pinned thread holds a
+// reservation strictly newer than that stamp.
+//
+// Guards are reentrant (the multiset takes one per operation, and benches
+// often hold an outer one around a batch); only the outermost guard
+// publishes or clears the reservation.
+//
+// Thread records are pooled and reused: the bench harness spawns fresh
+// worker threads per phase, so a thread's record (and any limbo nodes it
+// leaves behind) is adopted by a later thread instead of leaking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace llxscx {
+
+class Epoch {
+ public:
+  class Guard {
+   public:
+    Guard() {
+      Handle& h = handle();
+      if (h.depth++ == 0) {
+        h.rec->reservation.store(state().global.load(std::memory_order_seq_cst),
+                                 std::memory_order_seq_cst);
+      }
+    }
+    ~Guard() {
+      Handle& h = handle();
+      if (--h.depth == 0) {
+        h.rec->reservation.store(kIdle, std::memory_order_seq_cst);
+      }
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  template <typename T>
+  static void retire(T* p) {
+    retire_raw(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  static void retire_raw(void* p, void (*del)(void*)) {
+    State& s = state();
+    ThreadRec* rec = handle().rec;
+    const std::uint64_t e = s.global.load(std::memory_order_seq_cst);
+    {
+      SpinLock lock(rec->mu);
+      rec->limbo.push_back({p, del, e});
+    }
+    s.outstanding.fetch_add(1, std::memory_order_relaxed);
+    if (++handle().retires_since_scan >= kScanPeriod) {
+      handle().retires_since_scan = 0;
+      s.global.fetch_add(1, std::memory_order_seq_cst);
+      scan_one(rec);
+    }
+  }
+
+  // Free every node whose grace period has elapsed, advancing the epoch as
+  // needed. With no live guards this empties all limbo lists (freeing a node
+  // may retire further nodes — e.g. a Data-record releasing its SCX-record —
+  // so it loops to a fixed point). Test/bench teardown only: it walks every
+  // thread record, so it must not race with concurrent retire-heavy work.
+  static void drain_all_for_testing() {
+    State& s = state();
+    for (;;) {
+      s.global.fetch_add(1, std::memory_order_seq_cst);
+      std::uint64_t freed_this_pass = 0;
+      for (ThreadRec* rec : all_recs()) freed_this_pass += scan_one(rec);
+      if (freed_this_pass == 0) break;
+    }
+  }
+
+  static std::uint64_t total_freed() {
+    return state().total_freed.load(std::memory_order_relaxed);
+  }
+  static std::uint64_t outstanding() {
+    return state().outstanding.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+  static constexpr int kScanPeriod = 64;
+
+  struct Retired {
+    void* p;
+    void (*del)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(64) ThreadRec {
+    std::atomic<std::uint64_t> reservation{kIdle};
+    std::atomic_flag mu = ATOMIC_FLAG_INIT;
+    std::vector<Retired> limbo;  // guarded by mu
+  };
+
+  class SpinLock {
+   public:
+    explicit SpinLock(std::atomic_flag& f) : f_(f) {
+      while (f_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinLock() { f_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag& f_;
+  };
+
+  struct State {
+    std::atomic<std::uint64_t> global{1};
+    std::atomic<std::uint64_t> total_freed{0};
+    std::atomic<std::uint64_t> outstanding{0};
+    std::mutex registry_mu;
+    std::vector<ThreadRec*> recs;       // all ever created; never deallocated
+    std::vector<ThreadRec*> free_recs;  // records whose owner thread exited
+  };
+
+  struct Handle {
+    ThreadRec* rec = nullptr;
+    int depth = 0;
+    int retires_since_scan = 0;
+
+    Handle() {
+      State& s = state();
+      std::lock_guard<std::mutex> lock(s.registry_mu);
+      if (!s.free_recs.empty()) {
+        rec = s.free_recs.back();
+        s.free_recs.pop_back();
+      } else {
+        rec = new ThreadRec;
+        s.recs.push_back(rec);
+      }
+    }
+    ~Handle() {
+      rec->reservation.store(kIdle, std::memory_order_seq_cst);
+      State& s = state();
+      std::lock_guard<std::mutex> lock(s.registry_mu);
+      s.free_recs.push_back(rec);
+    }
+  };
+
+  // Leaked singleton: worker threads' Handle destructors may run during
+  // process teardown, after static destruction would have torn this down.
+  static State& state() {
+    static State* s = new State;
+    return *s;
+  }
+
+  static Handle& handle() {
+    thread_local Handle h;
+    return h;
+  }
+
+  static std::vector<ThreadRec*> all_recs() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    return s.recs;
+  }
+
+  static std::uint64_t min_reservation() {
+    std::uint64_t m = kIdle;
+    for (ThreadRec* rec : all_recs()) {
+      const std::uint64_t r = rec->reservation.load(std::memory_order_seq_cst);
+      if (r < m) m = r;
+    }
+    return m;
+  }
+
+  // Moves `rec`'s expired nodes out under its lock, then frees them with no
+  // lock held (a deleter may re-enter retire_raw on this thread's own rec).
+  static std::uint64_t scan_one(ThreadRec* rec) {
+    thread_local bool scanning = false;
+    if (scanning) return 0;  // deleter re-entered retire(); skip nested scan
+    scanning = true;
+    const std::uint64_t min_res = min_reservation();
+    std::vector<Retired> expired;
+    {
+      SpinLock lock(rec->mu);
+      auto split = rec->limbo.begin();
+      for (auto it = rec->limbo.begin(); it != rec->limbo.end(); ++it) {
+        if (it->epoch < min_res) {
+          expired.push_back(*it);
+        } else {
+          *split++ = *it;
+        }
+      }
+      rec->limbo.erase(split, rec->limbo.end());
+    }
+    State& s = state();
+    for (const Retired& r : expired) r.del(r.p);
+    s.outstanding.fetch_sub(expired.size(), std::memory_order_relaxed);
+    s.total_freed.fetch_add(expired.size(), std::memory_order_relaxed);
+    scanning = false;
+    return expired.size();
+  }
+};
+
+}  // namespace llxscx

@@ -1,0 +1,41 @@
+// Sense-reversing spin barrier for lining up benchmark/test worker threads
+// on a common start line (DESIGN.md §3). Spinning (rather than a condvar)
+// keeps the release jitter well under the microsecond scale the timed
+// phases in bench/bench_common.h care about.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace llxscx {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait() {
+    const std::uint64_t my_sense = sense_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense + 1, std::memory_order_release);
+      return;
+    }
+    std::uint64_t spins = 0;
+    while (sense_.load(std::memory_order_acquire) == my_sense) {
+      // Yield once the spin gets long: the container running ctest may have
+      // fewer hardware threads than parties.
+      if (++spins > 1024) std::this_thread::yield();
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> sense_{0};
+};
+
+}  // namespace llxscx

@@ -1,0 +1,51 @@
+// xoshiro256** — the per-thread PRNG for the benches and stress tests.
+// Deterministic for a given seed (cells are reproducible), fast enough that
+// the generator never shows up in a profile next to a CAS.
+#pragma once
+
+#include <cstdint>
+
+namespace llxscx {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) {
+    // splitmix64 seeding, per Blackman & Vigna's reference code: a weak
+    // (small-integer) seed must not yield a mostly-zero state.
+    std::uint64_t z = seed;
+    for (auto& word : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Modulo bias is < bound/2^64 — irrelevant for the
+  // key ranges (<= 1e6) these benches draw from.
+  std::uint64_t below(std::uint64_t bound) { return bound ? next() % bound : 0; }
+
+  bool percent(unsigned p) { return below(100) < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace llxscx

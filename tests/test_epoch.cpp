@@ -1,0 +1,97 @@
+// Epoch-based reclamation invariants (DESIGN.md §2): a retired node is
+// never freed while any guard that could have seen it is live, is freed
+// once every thread has moved past it, and a destructor-counting payload
+// shows exactly-once destruction (no double free, no leak) across threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "reclaim/epoch.h"
+#include "util/barrier.h"
+
+namespace llxscx {
+namespace {
+
+struct Payload {
+  static std::atomic<std::uint64_t> destroyed;
+  ~Payload() { destroyed.fetch_add(1); }
+};
+std::atomic<std::uint64_t> Payload::destroyed{0};
+
+class EpochTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Epoch::drain_all_for_testing();
+    Payload::destroyed.store(0);
+  }
+};
+
+TEST_F(EpochTest, RetiredNodeSurvivesLiveGuardAndDiesAfter) {
+  {
+    Epoch::Guard g;
+    Epoch::retire(new Payload);
+    // Our own guard is live, so the drain must leave the node in limbo.
+    Epoch::drain_all_for_testing();
+    EXPECT_EQ(Payload::destroyed.load(), 0u);
+    EXPECT_GE(Epoch::outstanding(), 1u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Payload::destroyed.load(), 1u);
+}
+
+TEST_F(EpochTest, GuardOnAnotherThreadBlocksReclamation) {
+  SpinBarrier pinned(2), release(2);
+  std::thread pinner([&] {
+    Epoch::Guard g;
+    pinned.arrive_and_wait();   // guard is up
+    release.arrive_and_wait();  // main thread finished its checks
+  });
+  pinned.arrive_and_wait();
+
+  Epoch::retire(new Payload);
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Payload::destroyed.load(), 0u)
+      << "a node retired while another thread holds a guard must survive";
+
+  release.arrive_and_wait();
+  pinner.join();
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Payload::destroyed.load(), 1u);
+}
+
+TEST_F(EpochTest, GuardsAreReentrant) {
+  Epoch::Guard outer;
+  {
+    Epoch::Guard inner;
+    Epoch::retire(new Payload);
+  }
+  // The inner guard's destruction must not clear the outer reservation.
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Payload::destroyed.load(), 0u);
+}
+
+TEST_F(EpochTest, ExactlyOnceDestructionAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  const std::uint64_t freed_before = Epoch::total_freed();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        Epoch::Guard g;
+        Epoch::retire(new Payload);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Payload::destroyed.load(), kThreads * kPerThread)
+      << "every retired payload must be destroyed exactly once";
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+  EXPECT_GE(Epoch::total_freed() - freed_before, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace llxscx
