@@ -76,7 +76,7 @@ void run() {
     std::printf("key range = %llu\n", static_cast<unsigned long long>(range));
     bench::Table t(
         {"threads", "upd%", "llxscx-bst", "llxscx-patricia", "locked std::map"});
-    for (int threads : {1, 2, 4}) {
+    for (int threads : bench::thread_grid({1, 2, 4})) {
       for (unsigned upd : {10u, 50u}) {
         t.add_row({std::to_string(threads), std::to_string(upd),
                    bench::fmt(run_cell<LlxScxBst>(threads, upd, range) / 1e6, 3) + "M",

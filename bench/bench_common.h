@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +29,28 @@ inline int phase_millis() {
     return std::max(1, std::atoi(env));
   }
   return 200;
+}
+
+// LLXSCX_BENCH_THREADS caps every bench's thread grid (unset = no cap).
+// The CI smoke job sets it to 2 so each binary exercises one single- and
+// one multi-threaded row in a few hundred ms.
+inline int thread_cap() {
+  if (const char* env = std::getenv("LLXSCX_BENCH_THREADS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 1 << 20;
+}
+
+// The bench's preferred thread counts, filtered by thread_cap(); if the cap
+// is below the smallest preference, runs the cap alone.
+inline std::vector<int> thread_grid(std::initializer_list<int> preferred) {
+  const int cap = thread_cap();
+  std::vector<int> out;
+  for (int t : preferred) {
+    if (t <= cap) out.push_back(t);
+  }
+  if (out.empty()) out.push_back(cap);
+  return out;
 }
 
 struct PhaseResult {

@@ -139,7 +139,7 @@ void run() {
               "counterparts, %d ms per cell (ops/s)\n\n", bench::phase_millis());
   bench::Table t({"threads", "llxscx-stack", "locked-stack", "llxscx-queue",
                   "locked-queue", "llxscx-hashmap", "locked-hashmap"});
-  for (int threads : {1, 2, 4}) {
+  for (int threads : bench::thread_grid({1, 2, 4})) {
     LlxScxHashMap lmap(1024);
     LockedHashMap kmap;
     t.add_row({std::to_string(threads),

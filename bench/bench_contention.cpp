@@ -31,7 +31,7 @@ void run() {
 
   bench::Table t({"threads", "attempts/s", "success/s", "success %", "llx fail %",
                   "helps", "final==successes"});
-  for (int threads : {1, 2, 4, 8, 16}) {
+  for (int threads : bench::thread_grid({1, 2, 4, 8, 16})) {
     Cell cells[3];
     std::vector<std::uint64_t> successes(threads, 0);
     const auto r = bench::run_phase(

@@ -83,7 +83,7 @@ void run() {
               "failures but continued aggregate progress\n\n");
 
   bench::Table t({"threads", "mode", "attempts/s", "success %", "helps"});
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : bench::thread_grid({1, 2, 4, 8})) {
     for (bool disjoint : {true, false}) {
       const ModeResult m = run_mode(threads, disjoint);
       t.add_row({std::to_string(threads), disjoint ? "disjoint" : "shared",

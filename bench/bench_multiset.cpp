@@ -56,7 +56,7 @@ void run() {
   std::printf("shape claim: LLX/SCX ~ fine-locks at low contention, beats "
               "MCAS-based always, beats coarse when concurrency matters\n\n");
 
-  const int thread_counts[] = {1, 2, 4};
+  const std::vector<int> thread_counts = bench::thread_grid({1, 2, 4});
   const unsigned update_pcts[] = {10, 50, 100};
   const std::uint64_t key_ranges[] = {100, 10000};
 

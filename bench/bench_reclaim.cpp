@@ -65,7 +65,7 @@ void run() {
 
   bench::Table t({"threads", "mode", "ops/s", "allocs", "freed via EBR",
                   "in limbo after drain"});
-  for (int threads : {1, 4}) {
+  for (int threads : bench::thread_grid({1, 4})) {
     const CellResult ebr = run_cell<LlxScxMultiset>(threads);
     t.add_row({std::to_string(threads), "EBR",
                bench::fmt(ebr.ops_per_sec / 1e6, 3) + "M",

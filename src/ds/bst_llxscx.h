@@ -1,0 +1,231 @@
+// External (leaf-oriented) BST on LLX/SCX — the paper's headline tree
+// application (§6, claim C-H): every update is ONE SCX that swaps a
+// constant-size connected subgraph for freshly allocated nodes.
+//
+// Structure. Internal nodes carry a routing key and two children; all
+// ⟨key, value⟩ pairs live in leaves. Search goes left iff key < node.key.
+// Two sentinel keys (kInf1 < kInf2, above every user key) give the classic
+// Ellen-et-al. shape: the permanent root is internal(kInf2) whose right
+// child is forever leaf(kInf2) and whose left subtree always contains
+// leaf(kInf1) as its rightmost leaf. Consequence: every user-key leaf has
+// both a parent and a grandparent, so the delete shape below never needs a
+// special root case.
+//
+// SCX shapes (DESIGN.md §8). Fresh-node discipline is identical to the
+// Fig. 6 multiset (§6): every value SCX installs into a child field is a
+// node allocated inside the current operation, so the usage assumption
+// (new never previously in fld) holds by construction, and epoch
+// reclamation keeps retired addresses from recurring while helpers run.
+//
+//   insert(k) at leaf l under parent p, dir = side of l under p:
+//     V = ⟨p, l⟩       R = ⟨l⟩       p.child[dir] ← internal(max(k,l.key),
+//                                        leaf(k), fresh copy l′)  [k=2]
+//   delete(k) of leaf l under parent p, sibling s, grandparent gp:
+//     V = ⟨gp, p, s⟩   R = ⟨p, s⟩    gp.child[dir] ← fresh copy s′  [k=3]
+//
+// The removed leaf l is NOT in V: l's fields are immutable and any update
+// touching the position ⟨p, l⟩ carries p in its V-set, so finalizing p
+// already excludes it. l is retired (unreachable) but never finalized.
+// The sibling is copied, not re-linked, exactly like the multiset's
+// full-delete successor: s's address must never be written into gp's
+// child field (value-ABA door), so s is finalized and s′ takes its place.
+//
+// Searches traverse with plain reads (Proposition 2); LLX is only used to
+// pin the V-set of an update. All position state consumed by an SCX is
+// re-derived from LLX snapshots, never from the plain-read walk — SCX's
+// old value MUST be the snapshot value, or a successful SCX could skip
+// its field write (DESIGN.md §8 checklist).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "llxscx/llx_scx.h"
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+
+struct BstNode : DataRecord<2> {
+  static constexpr std::size_t kLeft = 0;
+  static constexpr std::size_t kRight = 1;
+
+  // Internal node.
+  BstNode(std::uint64_t k, BstNode* l, BstNode* r) : key(k), value(0), leaf(false) {
+    mut(kLeft).store(reinterpret_cast<std::uint64_t>(l), std::memory_order_relaxed);
+    mut(kRight).store(reinterpret_cast<std::uint64_t>(r), std::memory_order_relaxed);
+  }
+  // Leaf.
+  BstNode(std::uint64_t k, std::uint64_t v) : key(k), value(v), leaf(true) {}
+
+  const std::uint64_t key;
+  const std::uint64_t value;  // leaves only
+  const bool leaf;
+};
+
+class LlxScxBst {
+ public:
+  using Node = BstNode;
+
+  // User keys must be below kInf1; the two values above it are sentinels.
+  static constexpr std::uint64_t kInf2 = ~std::uint64_t{0};
+  static constexpr std::uint64_t kInf1 = kInf2 - 1;
+
+  LlxScxBst() : root_(kInf2, new Node(kInf1, 0), new Node(kInf2, 0)) {}
+  ~LlxScxBst() {
+    // Quiescent teardown (retired-but-undrained nodes are the epoch's).
+    // Iterative: a degenerate tree would blow the stack recursively.
+    std::vector<Node*> stack{child(&root_, Node::kLeft),
+                             child(&root_, Node::kRight)};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (!n->leaf) {
+        stack.push_back(child(n, Node::kLeft));
+        stack.push_back(child(n, Node::kRight));
+      }
+      delete n;
+    }
+  }
+  LlxScxBst(const LlxScxBst&) = delete;
+  LlxScxBst& operator=(const LlxScxBst&) = delete;
+
+  std::optional<std::uint64_t> get(std::uint64_t key) const {
+    Epoch::Guard g;
+    const Node* n = read_child(&root_, dir_of(&root_, key));
+    while (!n->leaf) n = read_child(n, dir_of(n, key));
+    if (n->key == key) return n->value;
+    return std::nullopt;
+  }
+
+  // Insert-if-absent; returns whether the key was inserted.
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    Epoch::Guard g;
+    for (;;) {
+      // Plain-read walk to the leaf's parent; everything the SCX consumes
+      // is re-derived from the LLX snapshot of p below.
+      Node* p = &root_;
+      std::size_t dir = dir_of(p, key);
+      for (Node* n = read_child(p, dir); !n->leaf;) {
+        p = n;
+        dir = dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      auto lp = llx(p);
+      if (!lp.ok()) continue;  // frozen or finalized underfoot: re-walk
+      Node* l = to_node(lp.field(dir));
+      if (!l->leaf) continue;  // tree grew below p since the walk
+      if (l->key == key) return false;
+      auto ll = llx(l);
+      if (!ll.ok()) continue;
+      Node* nl = new Node(key, value);
+      Node* lcopy = new Node(l->key, l->value);
+      Node* ni = key < l->key ? new Node(l->key, nl, lcopy)
+                              : new Node(key, lcopy, nl);
+      const LinkedLlx v[2] = {lp.link(), ll.link()};
+      if (scx(v, 2, /*finalize l=*/0b10, &p->mut(dir), as_word(l),
+              as_word(ni))) {
+        retire_record(l);
+        return true;
+      }
+      delete nl;
+      delete lcopy;
+      delete ni;
+    }
+  }
+
+  // Removes key if present; returns whether it was removed.
+  bool erase(std::uint64_t key) {
+    Epoch::Guard g;
+    for (;;) {
+      // Walk to the leaf tracking grandparent and parent.
+      Node* gp = nullptr;
+      std::size_t gdir = 0;
+      Node* p = &root_;
+      std::size_t dir = dir_of(p, key);
+      for (Node* n = read_child(p, dir); !n->leaf;) {
+        gp = p;
+        gdir = dir;
+        p = n;
+        dir = dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      if (gp == nullptr) {
+        // Path root→leaf: only the sentinel leaves live at depth 1, so the
+        // key is absent (user keys < kInf1 always sit at depth ≥ 2).
+        return false;
+      }
+      auto lgp = llx(gp);
+      if (!lgp.ok()) continue;
+      Node* p2 = to_node(lgp.field(gdir));
+      if (p2->leaf) {
+        // The subtree collapsed to a leaf since the walk: decide from it.
+        if (p2->key != key) return false;
+        continue;  // key present but position stale: re-walk
+      }
+      auto lp = llx(p2);
+      if (!lp.ok()) continue;
+      const std::size_t d = dir_of(p2, key);
+      Node* l = to_node(lp.field(d));
+      if (!l->leaf) continue;  // tree grew below p2: re-walk
+      if (l->key != key) return false;
+      Node* s = to_node(lp.field(1 - d));
+      auto ls = llx(s);
+      if (!ls.ok()) continue;
+      Node* scopy = s->leaf ? new Node(s->key, s->value)
+                            : new Node(s->key, to_node(ls.field(Node::kLeft)),
+                                       to_node(ls.field(Node::kRight)));
+      const LinkedLlx v[3] = {lgp.link(), lp.link(), ls.link()};
+      if (scx(v, 3, /*finalize p2+s=*/0b110, &gp->mut(gdir), as_word(p2),
+              as_word(scopy))) {
+        retire_record(p2);
+        retire_record(s);
+        retire_record(l);  // unreachable once p2 is unlinked (see header)
+        return true;
+      }
+      delete scopy;
+    }
+  }
+
+  // Ordered ⟨key, value⟩ snapshot of user keys. Quiescent callers only.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    // Explicit in-order traversal (a degenerate tree would blow the stack).
+    std::vector<const Node*> path;
+    const Node* n = child(&root_, Node::kLeft);
+    while (n != nullptr || !path.empty()) {
+      while (n != nullptr) {
+        path.push_back(n);
+        n = n->leaf ? nullptr : child(n, Node::kLeft);
+      }
+      const Node* top = path.back();
+      path.pop_back();
+      if (top->leaf && top->key < kInf1) out.emplace_back(top->key, top->value);
+      n = top->leaf ? nullptr : child(top, Node::kRight);
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t as_word(const Node* n) {
+    return reinterpret_cast<std::uint64_t>(n);
+  }
+  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static std::size_t dir_of(const Node* n, std::uint64_t key) {
+    return key < n->key ? Node::kLeft : Node::kRight;
+  }
+  static Node* read_child(const Node* n, std::size_t dir) {
+    Stats::count_read();
+    return to_node(n->mut(dir).load(std::memory_order_seq_cst));
+  }
+  // Uninstrumented child load for quiescent teardown/snapshots.
+  static Node* child(const Node* n, std::size_t dir) {
+    return to_node(n->mut(dir).load(std::memory_order_relaxed));
+  }
+
+  // Permanent root sentinel: internal(kInf2), never frozen into any R-set.
+  Node root_;
+};
+
+}  // namespace llxscx

@@ -1,0 +1,245 @@
+// Binary Patricia trie on LLX/SCX — the paper's second tree application
+// (§6, claim C-H), sharing the BST's single-SCX update shapes.
+//
+// Structure. Leaf-oriented compressed binary trie over 64-bit keys,
+// MSB-first. A branch node stores `bit` (the index of the bit its two
+// subtrees differ on) and `prefix` (the key bits strictly above `bit`,
+// lower bits zeroed); all branch nodes on a root-to-leaf path have
+// strictly decreasing `bit`. Routing at a branch tests the key's `bit`:
+// 0 → left, 1 → right. Storing the prefix makes the insertion point
+// locally checkable from immutable fields alone — no re-walk is needed to
+// validate what a concurrent update may have moved (see insert()).
+//
+// Sentinels: the root is a pseudo-branch (bit 64, never routed by bit —
+// the trie hangs off its left child; the right child is unused) and the
+// trie always contains the permanent leaf kSentinelKey = ~0, which routes
+// right at every branch and is therefore the rightmost leaf of the whole
+// trie. User keys must be < kSentinelKey. Consequence, as in the BST:
+// every user-key leaf has a branch-node parent and a grandparent (a lone
+// depth-1 leaf would have to BE the rightmost sentinel), so delete never
+// needs a root special case.
+//
+// SCX shapes (DESIGN.md §8) — fresh-node discipline identical to the
+// Fig. 6 multiset and the BST:
+//
+//   insert(k), splitting edge p→n on differing bit b:
+//     V = ⟨p, n⟩       R = ⟨n⟩       p.child[dir] ← branch(b, leaf(k), n′)
+//                                                                     [k=2]
+//   delete(k) of leaf l under branch p, sibling s, grandparent gp:
+//     V = ⟨gp, p, s⟩   R = ⟨p, s⟩    gp.child[dir] ← fresh copy s′    [k=3]
+//
+// n′/s′ are fresh copies (same immutable fields, children taken from the
+// LLX snapshot), so no address is ever written twice into the same child
+// field; the removed leaf l is retired unfinalized exactly as in the BST.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "llxscx/llx_scx.h"
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+
+struct PatriciaNode : DataRecord<2> {
+  static constexpr std::size_t kLeft = 0;
+  static constexpr std::size_t kRight = 1;
+
+  // Branch node: subtree keys agree on bits above `bit` (== prefix) and
+  // split on `bit` itself.
+  PatriciaNode(std::uint64_t pfx, unsigned b, PatriciaNode* l, PatriciaNode* r)
+      : prefix(pfx), value(0), bit(b), leaf(false) {
+    mut(kLeft).store(reinterpret_cast<std::uint64_t>(l), std::memory_order_relaxed);
+    mut(kRight).store(reinterpret_cast<std::uint64_t>(r), std::memory_order_relaxed);
+  }
+  // Leaf: `prefix` holds the full key.
+  PatriciaNode(std::uint64_t k, std::uint64_t v)
+      : prefix(k), value(v), bit(0), leaf(true) {}
+
+  std::uint64_t key() const { return prefix; }
+
+  const std::uint64_t prefix;  // branch: bits above `bit`; leaf: the key
+  const std::uint64_t value;   // leaves only
+  const unsigned bit;          // branch only (64 marks the root pseudo-branch)
+  const bool leaf;
+};
+
+class LlxScxPatricia {
+ public:
+  using Node = PatriciaNode;
+
+  // All-ones is the permanent rightmost sentinel leaf; user keys below it.
+  static constexpr std::uint64_t kSentinelKey = ~std::uint64_t{0};
+
+  LlxScxPatricia()
+      : root_(/*pfx=*/0, /*bit=*/64, new Node(kSentinelKey, 0), nullptr) {}
+  ~LlxScxPatricia() {
+    // Quiescent teardown; depth is bounded by 65 but iterate anyway to
+    // match the BST idiom.
+    std::vector<Node*> stack{child(&root_, Node::kLeft)};
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (!n->leaf) {
+        stack.push_back(child(n, Node::kLeft));
+        stack.push_back(child(n, Node::kRight));
+      }
+      delete n;
+    }
+  }
+  LlxScxPatricia(const LlxScxPatricia&) = delete;
+  LlxScxPatricia& operator=(const LlxScxPatricia&) = delete;
+
+  std::optional<std::uint64_t> get(std::uint64_t key) const {
+    Epoch::Guard g;
+    const Node* n = read_child(&root_, Node::kLeft);
+    while (!n->leaf) n = read_child(n, dir_of(n, key));
+    if (n->key() == key) return n->value;
+    return std::nullopt;
+  }
+
+  // Insert-if-absent; returns whether the key was inserted.
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    Epoch::Guard g;
+    for (;;) {
+      // Walk until the local split condition fires at the edge p→n: n is a
+      // leaf, or n's prefix disagrees with key above n's bit. Both checks
+      // read only immutable fields, so re-deriving n from p's LLX snapshot
+      // below revalidates the whole position.
+      Node* p = &root_;
+      std::size_t dir = Node::kLeft;
+      Node* n = read_child(p, dir);
+      while (!n->leaf && matches_prefix(n, key)) {
+        p = n;
+        dir = dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      auto lp = llx(p);
+      if (!lp.ok()) continue;
+      n = to_node(lp.field(dir));
+      if (!n->leaf && matches_prefix(n, key)) continue;  // edge moved: re-walk
+      const std::uint64_t other = n->leaf ? n->key() : n->prefix;
+      if (n->leaf && other == key) return false;
+      // Highest differing bit; > n->bit for a branch by the prefix check.
+      const unsigned b =
+          63 - static_cast<unsigned>(std::countl_zero(key ^ other));
+      auto ln = llx(n);
+      if (!ln.ok()) continue;
+      Node* ncopy = copy_of(n, ln);
+      Node* nl = new Node(key, value);
+      const std::uint64_t pfx = key & ~((std::uint64_t{2} << b) - 1);
+      Node* nb = ((key >> b) & 1) ? new Node(pfx, b, ncopy, nl)
+                                  : new Node(pfx, b, nl, ncopy);
+      const LinkedLlx v[2] = {lp.link(), ln.link()};
+      if (scx(v, 2, /*finalize n=*/0b10, &p->mut(dir), as_word(n),
+              as_word(nb))) {
+        retire_record(n);
+        return true;
+      }
+      delete ncopy;
+      delete nl;
+      delete nb;
+    }
+  }
+
+  // Removes key if present; returns whether it was removed.
+  bool erase(std::uint64_t key) {
+    Epoch::Guard g;
+    for (;;) {
+      Node* gp = nullptr;
+      std::size_t gdir = 0;
+      Node* p = &root_;
+      std::size_t dir = Node::kLeft;
+      for (Node* n = read_child(p, dir); !n->leaf;) {
+        gp = p;
+        gdir = dir;
+        p = n;
+        dir = dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      if (gp == nullptr) return false;  // depth-1 leaf is the sentinel
+      auto lgp = llx(gp);
+      if (!lgp.ok()) continue;
+      Node* p2 = to_node(lgp.field(gdir));
+      if (p2->leaf) {
+        if (p2->key() != key) return false;
+        continue;  // key present but hoisted: re-walk for the new parent
+      }
+      auto lp = llx(p2);
+      if (!lp.ok()) continue;
+      const std::size_t d = dir_of(p2, key);
+      Node* l = to_node(lp.field(d));
+      if (!l->leaf) continue;  // trie grew below p2: re-walk
+      if (l->key() != key) return false;
+      Node* s = to_node(lp.field(1 - d));
+      auto ls = llx(s);
+      if (!ls.ok()) continue;
+      Node* scopy = copy_of(s, ls);
+      const LinkedLlx v[3] = {lgp.link(), lp.link(), ls.link()};
+      if (scx(v, 3, /*finalize p2+s=*/0b110, &gp->mut(gdir), as_word(p2),
+              as_word(scopy))) {
+        retire_record(p2);
+        retire_record(s);
+        retire_record(l);
+        return true;
+      }
+      delete scopy;
+    }
+  }
+
+  // Ordered ⟨key, value⟩ snapshot of user keys (MSB-first in-order is
+  // ascending unsigned order). Quiescent callers only.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    std::vector<const Node*> path;
+    const Node* n = child(&root_, Node::kLeft);
+    while (n != nullptr || !path.empty()) {
+      while (n != nullptr) {
+        path.push_back(n);
+        n = n->leaf ? nullptr : child(n, Node::kLeft);
+      }
+      const Node* top = path.back();
+      path.pop_back();
+      if (top->leaf && top->key() != kSentinelKey) {
+        out.emplace_back(top->key(), top->value);
+      }
+      n = top->leaf ? nullptr : child(top, Node::kRight);
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t as_word(const Node* n) {
+    return reinterpret_cast<std::uint64_t>(n);
+  }
+  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static std::size_t dir_of(const Node* n, std::uint64_t key) {
+    return (key >> n->bit) & 1 ? Node::kRight : Node::kLeft;
+  }
+  // Does `key` agree with branch n on every bit above n->bit?
+  static bool matches_prefix(const Node* n, std::uint64_t key) {
+    return ((key ^ n->prefix) >> n->bit) >> 1 == 0;
+  }
+  // Fresh structural copy from an LLX snapshot (immutable fields + the
+  // snapshotted children), as required by the fresh-node discipline.
+  static Node* copy_of(const Node* n, const LlxResult<2>& ln) {
+    return n->leaf ? new Node(n->key(), n->value)
+                   : new Node(n->prefix, n->bit, to_node(ln.field(Node::kLeft)),
+                              to_node(ln.field(Node::kRight)));
+  }
+  static Node* read_child(const Node* n, std::size_t dir) {
+    Stats::count_read();
+    return to_node(n->mut(dir).load(std::memory_order_seq_cst));
+  }
+  static Node* child(const Node* n, std::size_t dir) {
+    return to_node(n->mut(dir).load(std::memory_order_relaxed));
+  }
+
+  // Root pseudo-branch (bit 64): the trie is its left child, right unused.
+  Node root_;
+};
+
+}  // namespace llxscx

@@ -223,18 +223,47 @@ inline ScxRecord::~ScxRecord() {
   for (std::size_t i = 0; i < acquired_; ++i) info_fields_[i]->release();
 }
 
-// LLX(r) — paper Fig. 2. Caller must hold an Epoch::Guard across this call
-// and any SCX/VLX that consumes the returned link.
+// LLX(r) — paper Fig. 2.
+//
+// Preconditions:
+//   - The caller holds an Epoch::Guard, and keeps holding it (reentrant
+//     nesting is fine) until after any SCX/VLX that consumes the returned
+//     link. The guard is what keeps both r and the witnessed descriptor
+//     alive across that window.
+//   - r was reached through the structure under that same guard (root,
+//     or loaded from a field/LLX snapshot of a record so reached). A
+//     pointer cached from before the guard began may already be freed.
+//
+// Returns one of:
+//   - ok:        a consistent snapshot of r's mutable fields plus the
+//                link a same-thread SCX/VLX needs. ok means r was not
+//                finalized at the linearization point — it does NOT mean
+//                r is still reachable by the time you act on it; SCX's
+//                V-set check is what turns the link into an atomicity
+//                guarantee.
+//   - fail:      r was (or became) frozen for a concurrent SCX; this call
+//                helped it along. Retry from a consistent point.
+//   - finalized: r was removed by a committed SCX and will never be
+//                mutable again. Callers should re-locate, not retry on r.
 template <std::size_t NumMut>
 LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
   Stats::llx_call();
-  Stats::count_read(3);
-  const bool marked = r->marked_.load(std::memory_order_seq_cst);
+  Stats::count_read(4);
+  const bool marked1 = r->marked_.load(std::memory_order_seq_cst);
   ScxRecord* rinfo = r->info_.load(std::memory_order_seq_cst);
   const int state = rinfo->state_.load(std::memory_order_seq_cst);
+  // Paper Fig. 2 reads the mark a SECOND time, after the state read, and
+  // gates the snapshot on it. The re-read is load-bearing: Help() writes
+  // the R-set marks after allFrozen but before state:=Committed, so a
+  // single early mark read could see false, then observe Committed, and
+  // hand out a snapshot of a record that is already finalized. A later
+  // SCX could then re-freeze that finalized record (its info field never
+  // changes again) and commit a change hanging off a removed subtree —
+  // e.g. double-retiring a node a tree delete already retired.
+  const bool marked2 = r->marked_.load(std::memory_order_seq_cst);
 
   if (state == ScxRecord::kAborted ||
-      (state == ScxRecord::kCommitted && !marked)) {
+      (state == ScxRecord::kCommitted && !marked2)) {
     // r was unfrozen at the read of state: snapshot the mutable fields and
     // confirm no SCX intervened.
     std::array<std::uint64_t, NumMut> f;
@@ -249,13 +278,18 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
   }
 
   // r is (or was) frozen. If its freezer finalized it, report FINALIZED;
-  // otherwise help whoever holds it and report FAIL.
+  // otherwise help whoever holds it and report FAIL. FINALIZED uses the
+  // FIRST mark read (Fig. 2 line 8): marked1 was set before rinfo was
+  // read, so the finalizing descriptor is rinfo itself (or earlier) and
+  // its commit is what justifies the verdict. The marked1-false/
+  // marked2-true race therefore reports FAIL, and the caller's retry
+  // sees FINALIZED.
   bool committed = state == ScxRecord::kCommitted;
   if (state == ScxRecord::kInProgress) {
     Stats::helped();
     committed = detail_help(rinfo);
   }
-  if (committed && marked) return LlxResult<NumMut>::finalized();
+  if (committed && marked1) return LlxResult<NumMut>::finalized();
 
   ScxRecord* cur = r->info_.load(std::memory_order_seq_cst);
   Stats::count_read(2);
@@ -267,10 +301,25 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
   return LlxResult<NumMut>::fail();
 }
 
-// SCX(V, R, fld, new) — paper Fig. 3. `v[0..k)` are links from this
-// thread's LLXs (all under the current Epoch::Guard); `finalize_mask` bit i
-// selects v[i] for R; `fld` must be a mutable field of some record in V and
-// `old` its value from the corresponding LLX snapshot.
+// SCX(V, R, fld, new) — paper Fig. 3. Commits iff no record in V changed
+// since this thread's LLX of it; on commit, writes `new_val` into fld and
+// finalizes the records selected by `finalize_mask`. A false return wrote
+// nothing (any freezes it won were undone by helpers observing the abort).
+//
+// Preconditions (the paper's §3 constraints plus this repo's memory rules):
+//   - v[0..k) are links from THIS thread's LLXs, all taken and still
+//     covered by the current Epoch::Guard.
+//   - fld is a mutable field of some record in V, and `old_val` is that
+//     field's value FROM THE LLX SNAPSHOT — not from a later plain read.
+//     (SCX success is defined by V-set stability; if old_val is stale the
+//     update CAS silently misses and the commit still reports true.)
+//   - Usage assumption (value ABA): `new_val` must never have appeared in
+//     fld before. Every structure here satisfies it by only installing
+//     pointers to nodes allocated within the current operation — see the
+//     fresh-node discipline in ds/ and DESIGN.md §6/§8.
+//   - Records in R stay permanently frozen; only the committing thread
+//     may retire them (plus nodes made unreachable by the commit), via
+//     retire_record, after scx returns true.
 inline bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
                 std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
                 std::uint64_t new_val) {
@@ -304,7 +353,8 @@ inline bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
 }
 
 // VLX(V) — k shared reads (claim C-C): each record is unchanged since its
-// LLX iff its info field still names the linked descriptor.
+// LLX iff its info field still names the linked descriptor. Same
+// preconditions as scx(): same-thread links, one continuous Epoch::Guard.
 inline bool vlx(const LinkedLlx* v, std::size_t k) {
   for (std::size_t i = 0; i < k; ++i) {
     Stats::count_read();
@@ -315,8 +365,13 @@ inline bool vlx(const LinkedLlx* v, std::size_t k) {
   return true;
 }
 
-// Retire a finalized Data-record through epoch reclamation. Call exactly
-// once, from the thread whose SCX finalized it.
+// Retire a removed Data-record through epoch reclamation. Call exactly
+// once, from the thread whose committed SCX removed it — either a record
+// in that SCX's R-set, or one made unreachable by the commit (the trees'
+// removed leaf). Exactly-once is the structure's obligation: the SCX
+// shapes must guarantee no two committed operations remove the same node
+// (every conflicting pair shares a V-record that the first commit
+// freezes or finalizes).
 template <typename T>
 void retire_record(T* r) {
   Epoch::retire(r);

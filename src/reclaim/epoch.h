@@ -26,6 +26,25 @@ namespace llxscx {
 
 class Epoch {
  public:
+  // RAII reservation pinning the current epoch for this thread.
+  //
+  // Guarantee: any pointer loaded from shared memory while a guard is
+  // held stays allocated (possibly logically removed, never freed) until
+  // this thread's OUTERMOST guard drops — provided the pointed-to object
+  // was reachable at the load, i.e. retired no earlier than the guard's
+  // start. Pointers cached from before the guard began get no protection.
+  //
+  // Reentrancy: guards nest freely on one thread (each structure op takes
+  // one; benches often hold an outer guard around a batch). Only the
+  // outermost guard publishes the reservation and only its destruction
+  // clears it, so the protected window is the union of the nest. A guard
+  // is thread-local state: it must be destroyed on the thread that
+  // created it, and holding one does NOT protect other threads' new
+  // retirements from being your own next guard's problem — it only
+  // delays frees.
+  //
+  // Do not hold a guard across blocking waits in retire-heavy phases:
+  // every pinned thread bounds how far limbo lists can drain.
   class Guard {
    public:
     Guard() {
@@ -45,6 +64,13 @@ class Epoch {
     Guard& operator=(const Guard&) = delete;
   };
 
+  // Hand p to the reclaimer; it is deleted (as T) once every thread
+  // pinned at or before the current epoch has unpinned. Preconditions:
+  // p is unreachable from the structure's roots (no NEW guard can find
+  // it), and exactly one thread retires it, exactly once. The caller may
+  // still hold a guard — retirement is about future readers, not the
+  // current one. Deleters may themselves retire (descriptor chains);
+  // nested scans are suppressed, not recursive.
   template <typename T>
   static void retire(T* p) {
     retire_raw(p, [](void* q) { delete static_cast<T*>(q); });

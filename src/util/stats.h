@@ -6,11 +6,22 @@
 // these counters on every shared-memory step they take. Counters are plain
 // thread-local increments — cheap enough to leave on in release builds —
 // and a phase harness aggregates snapshots across workers (bench_common.h).
+//
+// Building with -DLLXSCX_COUNT_STEPS=OFF (CMake option; defaults ON)
+// compiles every hook to nothing, for measuring the uninstrumented hot
+// path. Step-count tables then read zero and the tests that pin SCX shapes
+// skip themselves via kStepCounting.
 #pragma once
 
 #include <cstdint>
 
+#ifndef LLXSCX_COUNT_STEPS
+#define LLXSCX_COUNT_STEPS 1
+#endif
+
 namespace llxscx {
+
+inline constexpr bool kStepCounting = LLXSCX_COUNT_STEPS != 0;
 
 struct StepCounts {
   std::uint64_t llx_calls = 0;   // LLX invocations
@@ -56,16 +67,35 @@ class Stats {
   static void reset_mine() { mine() = StepCounts{}; }
   static StepCounts my_snapshot() { return mine(); }
 
-  // Instrumentation hooks for the primitives.
-  static void llx_call() { ++mine().llx_calls; }
-  static void llx_failed() { ++mine().llx_fail; }
-  static void scx_call() { ++mine().scx_calls; }
-  static void scx_failed() { ++mine().scx_fail; }
-  static void helped() { ++mine().helps; }
-  static void count_cas() { ++mine().cas; }
-  static void count_read(std::uint64_t n = 1) { mine().shared_reads += n; }
-  static void count_write(std::uint64_t n = 1) { mine().shared_writes += n; }
-  static void count_alloc() { ++mine().allocations; }
+  // Instrumentation hooks for the primitives; no-ops when step counting is
+  // compiled out (the `if constexpr` discards the thread-local access).
+  static void llx_call() {
+    if constexpr (kStepCounting) ++mine().llx_calls;
+  }
+  static void llx_failed() {
+    if constexpr (kStepCounting) ++mine().llx_fail;
+  }
+  static void scx_call() {
+    if constexpr (kStepCounting) ++mine().scx_calls;
+  }
+  static void scx_failed() {
+    if constexpr (kStepCounting) ++mine().scx_fail;
+  }
+  static void helped() {
+    if constexpr (kStepCounting) ++mine().helps;
+  }
+  static void count_cas() {
+    if constexpr (kStepCounting) ++mine().cas;
+  }
+  static void count_read(std::uint64_t n = 1) {
+    if constexpr (kStepCounting) mine().shared_reads += n;
+  }
+  static void count_write(std::uint64_t n = 1) {
+    if constexpr (kStepCounting) mine().shared_writes += n;
+  }
+  static void count_alloc() {
+    if constexpr (kStepCounting) ++mine().allocations;
+  }
 
  private:
   static StepCounts& mine() {

@@ -1,0 +1,18 @@
+// Shared helpers for the test binaries.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace llxscx::testing {
+
+// Stress-phase duration: follows LLXSCX_BENCH_MS (like the bench harness)
+// so the sanitizer CI jobs can downscale, defaulting to 2 s.
+inline int stress_millis() {
+  if (const char* env = std::getenv("LLXSCX_BENCH_MS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 2000;
+}
+
+}  // namespace llxscx::testing

@@ -118,6 +118,7 @@ TEST(LlxScx, VlxValidatesUnchangedRecordsAndDetectsChanges) {
 // Claim C-A (§1): an uncontended SCX over k records finalizing f of them
 // performs exactly k+1 CAS and f+2 shared writes.
 TEST(LlxScx, UncontendedScxStepCountsMatchClaimCA) {
+  if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
   Epoch::Guard g;
   constexpr int k = 3;
   constexpr int f = 2;

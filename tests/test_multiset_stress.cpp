@@ -24,15 +24,10 @@
 #include "util/barrier.h"
 #include "util/random.h"
 
+#include "tests/test_common.h"
+
 namespace llxscx {
 namespace {
-
-int stress_millis() {
-  if (const char* env = std::getenv("LLXSCX_BENCH_MS")) {
-    return std::max(1, std::atoi(env));
-  }
-  return 2000;
-}
 
 TEST(MultisetStress, MatchesLockedOracleUnderContention) {
   constexpr int kThreads = 4;
@@ -88,7 +83,7 @@ TEST(MultisetStress, MatchesLockedOracleUnderContention) {
   }
 
   barrier.arrive_and_wait();
-  std::this_thread::sleep_for(std::chrono::milliseconds(stress_millis()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(testing::stress_millis()));
   stop.store(true);
   for (auto& th : pool) th.join();
 

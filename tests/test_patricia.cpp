@@ -1,0 +1,223 @@
+// Patricia trie on LLX/SCX (E6's second structure): prefix-heavy
+// sequential semantics, the pinned tree-update SCX shapes from DESIGN.md
+// §8 (identical to the BST's), and the 4-thread oracle stress.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "ds/patricia_llxscx.h"
+#include "util/barrier.h"
+#include "util/random.h"
+
+#include "tests/test_common.h"
+
+namespace llxscx {
+namespace {
+
+TEST(Patricia, EmptyTrieHasNoKeys) {
+  LlxScxPatricia t;
+  EXPECT_FALSE(t.get(1).has_value());
+  EXPECT_FALSE(t.get(0).has_value());
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_TRUE(t.items().empty());
+}
+
+TEST(Patricia, InsertGetEraseRoundTrip) {
+  LlxScxPatricia t;
+  EXPECT_TRUE(t.insert(42, 420));
+  EXPECT_FALSE(t.insert(42, 999)) << "insert is insert-if-absent";
+  ASSERT_TRUE(t.get(42).has_value());
+  EXPECT_EQ(*t.get(42), 420u);
+  EXPECT_FALSE(t.get(43).has_value());
+  EXPECT_TRUE(t.erase(42));
+  EXPECT_FALSE(t.erase(42));
+  EXPECT_FALSE(t.get(42).has_value());
+  Epoch::drain_all_for_testing();
+}
+
+TEST(Patricia, SharedPrefixAndExtremeKeys) {
+  LlxScxPatricia t;
+  // Keys chosen to exercise splits at bit 63, middle bits, and bit 0,
+  // including key 0 and the largest user key (sentinel − 1).
+  const std::uint64_t keys[] = {0,
+                                1,
+                                2,
+                                3,
+                                std::uint64_t{1} << 63,
+                                (std::uint64_t{1} << 63) + 1,
+                                (std::uint64_t{1} << 32) | 5,
+                                LlxScxPatricia::kSentinelKey - 1};
+  for (std::uint64_t k : keys) ASSERT_TRUE(t.insert(k, k ^ 0xABCD));
+  for (std::uint64_t k : keys) {
+    ASSERT_TRUE(t.get(k).has_value()) << k;
+    EXPECT_EQ(*t.get(k), k ^ 0xABCD);
+  }
+  // Near misses on shared prefixes must not be found.
+  EXPECT_FALSE(t.get(4).has_value());
+  EXPECT_FALSE(t.get((std::uint64_t{1} << 63) + 2).has_value());
+  EXPECT_FALSE(t.get((std::uint64_t{1} << 32) | 4).has_value());
+  // In-order items come out in ascending unsigned key order.
+  auto items = t.items();
+  ASSERT_EQ(items.size(), std::size(keys));
+  std::vector<std::uint64_t> sorted(std::begin(keys), std::end(keys));
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(items[i].first, sorted[i]);
+  }
+  for (std::uint64_t k : keys) EXPECT_TRUE(t.erase(k));
+  EXPECT_TRUE(t.items().empty());
+  Epoch::drain_all_for_testing();
+}
+
+TEST(Patricia, ShuffledInsertEraseKeepsSortedItems) {
+  constexpr std::uint64_t kN = 512;
+  std::vector<std::uint64_t> keys(kN);
+  // Spread keys across the word so branch bits vary wildly.
+  std::mt19937_64 rng(11);
+  for (auto& k : keys) {
+    do {
+      k = rng();
+    } while (k == LlxScxPatricia::kSentinelKey);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::shuffle(keys.begin(), keys.end(), rng);
+
+  LlxScxPatricia t;
+  for (std::uint64_t k : keys) ASSERT_TRUE(t.insert(k, ~k));
+  auto items = t.items();
+  ASSERT_EQ(items.size(), keys.size());
+  std::vector<std::uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(items[i].first, sorted[i]);
+    EXPECT_EQ(items[i].second, ~sorted[i]);
+  }
+  for (std::size_t i = 0; i < keys.size(); i += 2) ASSERT_TRUE(t.erase(keys[i]));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(t.get(keys[i]).has_value(), i % 2 == 1);
+  }
+  Epoch::drain_all_for_testing();
+}
+
+// DESIGN.md §8: Patricia insert/delete are the SAME shapes as the BST's —
+// insert SCX(V=⟨p,n⟩, R=⟨n⟩): k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes; delete
+// SCX(V=⟨gp,p,s⟩, R=⟨p,s⟩): k=3 ⇒ 4 CAS, f=2 ⇒ 4 writes.
+TEST(Patricia, TreeUpdateScxShapesArePinned) {
+  if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  LlxScxPatricia t;
+  ASSERT_TRUE(t.insert(0b1000, 1));
+  ASSERT_TRUE(t.insert(0b1010, 2));
+
+  Stats::reset_mine();
+  ASSERT_TRUE(t.insert(0b1001, 3));
+  StepCounts d = Stats::my_snapshot();
+  EXPECT_EQ(d.llx_calls, 2u);
+  EXPECT_EQ(d.llx_fail, 0u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 3u) << "insert: k+1 CAS with k=2";
+  EXPECT_EQ(d.shared_writes, 3u) << "insert: f+2 writes with f=1";
+  EXPECT_EQ(d.allocations, 4u) << "branch + leaf + edge copy + SCX-record";
+
+  Stats::reset_mine();
+  ASSERT_TRUE(t.erase(0b1001));
+  d = Stats::my_snapshot();
+  EXPECT_EQ(d.llx_calls, 3u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 4u) << "delete: k+1 CAS with k=3";
+  EXPECT_EQ(d.shared_writes, 4u) << "delete: f+2 writes with f=2";
+  EXPECT_EQ(d.allocations, 2u) << "1 fresh sibling copy + 1 SCX-record";
+  Epoch::drain_all_for_testing();
+}
+
+TEST(PatriciaStress, MatchesLockedOracleUnderContention) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kHotKeys = 8;
+  constexpr std::uint64_t kKeySpace = 256;
+
+  LlxScxPatricia t;
+  std::mutex oracle_mu;
+  std::map<std::uint64_t, std::int64_t> oracle;  // net membership per key
+
+  SpinBarrier barrier(kThreads + 1);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  std::atomic<std::uint64_t> total_ops{0};
+
+  for (int th = 0; th < kThreads; ++th) {
+    pool.emplace_back([&, th] {
+      Xoshiro256 rng(3000 + th);
+      std::uint64_t ops = 0;
+      std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;
+      barrier.arrive_and_wait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Spread hot keys across the word (multiply by a large odd
+        // constant) so contention hits deep shared-prefix splits too.
+        std::uint64_t key = rng.percent(80) ? 1 + rng.below(kHotKeys)
+                                            : 1 + rng.below(kKeySpace);
+        key *= 0x9E3779B97F4A7C15ull | 1;
+        const unsigned dice = static_cast<unsigned>(rng.below(100));
+        if (dice < 35) {
+          if (t.insert(key, key ^ 0xF00D)) deltas.emplace_back(key, 1);
+        } else if (dice < 70) {
+          if (t.erase(key)) deltas.emplace_back(key, -1);
+        } else {
+          const auto v = t.get(key);
+          if (v.has_value()) EXPECT_EQ(*v, key ^ 0xF00D);
+        }
+        ++ops;
+        if (deltas.size() >= 128) {
+          std::lock_guard<std::mutex> lock(oracle_mu);
+          for (const auto& [k, d] : deltas) oracle[k] += d;
+          deltas.clear();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(oracle_mu);
+        for (const auto& [k, d] : deltas) oracle[k] += d;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(testing::stress_millis()));
+  stop.store(true);
+  for (auto& th : pool) th.join();
+
+  for (std::uint64_t base = 1; base <= kKeySpace; ++base) {
+    const std::uint64_t key = base * (0x9E3779B97F4A7C15ull | 1);
+    const auto it = oracle.find(key);
+    const std::int64_t net = it == oracle.end() ? 0 : it->second;
+    ASSERT_TRUE(net == 0 || net == 1) << "oracle accounting bug at " << key;
+    EXPECT_EQ(t.get(key).has_value(), net == 1) << "divergence at key " << key;
+  }
+
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const auto& [key, value] : t.items()) {
+    EXPECT_TRUE(first || key > prev) << "order violation at key " << key;
+    EXPECT_EQ(value, key ^ 0xF00D);
+    prev = key;
+    first = false;
+  }
+
+  EXPECT_GT(total_ops.load(), 0u);
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u)
+      << "all retired nodes/descriptors must drain once threads quiesce";
+}
+
+}  // namespace
+}  // namespace llxscx
