@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "bench/bench_common.h"
+#include "ds/container_api.h"
 #include "ds/hashmap_llxscx.h"
 #include "ds/queue_llxscx.h"
 #include "ds/stack_llxscx.h"
@@ -18,6 +19,11 @@
 
 namespace llxscx {
 namespace {
+
+// E9's subjects all satisfy the unified container contract (DESIGN.md §9).
+static_assert(LlxScxContainer<LlxScxStack>);
+static_assert(LlxScxContainer<LlxScxQueue>);
+static_assert(LlxScxContainer<LlxScxHashMap>);
 
 class LockedStack {
  public:

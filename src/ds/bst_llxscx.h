@@ -32,9 +32,11 @@
 //
 // Searches traverse with plain reads (Proposition 2); LLX is only used to
 // pin the V-set of an update. All position state consumed by an SCX is
-// re-derived from LLX snapshots, never from the plain-read walk — SCX's
-// old value MUST be the snapshot value, or a successful SCX could skip
-// its field write (DESIGN.md §8 checklist).
+// re-derived from LLX snapshots, never from the plain-read walk — the
+// ScxOp builder (llxscx/scx_op.h) makes that structural: `old` is always
+// the owner's snapshot value, `new` always a freshly()-minted node, and
+// the builder retires R plus the orphaned leaf exactly once on commit
+// (DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +45,7 @@
 #include <vector>
 
 #include "llxscx/llx_scx.h"
+#include "llxscx/scx_op.h"
 #include "reclaim/epoch.h"
 
 namespace llxscx {
@@ -99,6 +102,37 @@ class LlxScxBst {
     return std::nullopt;
   }
 
+  // Validated read (claim C-C): pins ⟨parent, leaf⟩ with LLX, re-derives
+  // the leaf from the parent's snapshot, and VLX-validates both through
+  // the builder before answering — so the leaf provably still hung off
+  // that parent at the validation point. Costs k shared reads on top of
+  // the walk, no CAS, no allocation; get() (plain reads, Proposition 2)
+  // is the fast path, this is the belt-and-braces one.
+  std::optional<std::uint64_t> get_validated(std::uint64_t key) const {
+    Epoch::Guard g;
+    for (;;) {
+      const Node* p = &root_;
+      std::size_t dir = dir_of(p, key);
+      for (const Node* n = read_child(p, dir); !n->leaf;) {
+        p = n;
+        dir = dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      auto lp = llx(p);
+      if (!lp.ok()) continue;
+      Node* l = to_node(lp.field(dir));
+      if (!l->leaf) continue;  // tree grew below p since the walk
+      auto ll = llx(l);
+      if (!ll.ok()) continue;
+      ScxOp<Node> op;
+      op.link(lp);
+      op.link(ll);
+      if (!op.validate()) continue;
+      if (l->key == key) return l->value;
+      return std::nullopt;
+    }
+  }
+
   // Insert-if-absent; returns whether the key was inserted.
   bool insert(std::uint64_t key, std::uint64_t value) {
     Epoch::Guard g;
@@ -119,19 +153,15 @@ class LlxScxBst {
       if (l->key == key) return false;
       auto ll = llx(l);
       if (!ll.ok()) continue;
-      Node* nl = new Node(key, value);
-      Node* lcopy = new Node(l->key, l->value);
-      Node* ni = key < l->key ? new Node(l->key, nl, lcopy)
-                              : new Node(key, lcopy, nl);
-      const LinkedLlx v[2] = {lp.link(), ll.link()};
-      if (scx(v, 2, /*finalize l=*/0b10, &p->mut(dir), as_word(l),
-              as_word(ni))) {
-        retire_record(l);
-        return true;
-      }
-      delete nl;
-      delete lcopy;
-      delete ni;
+      ScxOp<Node> op;
+      op.link(lp);
+      op.remove(ll);
+      auto nl = op.freshly(key, value);
+      auto lcopy = op.freshly(l->key, l->value);
+      auto ni = key < l->key ? op.freshly(l->key, nl, lcopy)
+                             : op.freshly(key, lcopy, nl);
+      op.write(p, dir, ni);
+      if (op.commit()) return true;
     }
   }
 
@@ -173,18 +203,17 @@ class LlxScxBst {
       Node* s = to_node(lp.field(1 - d));
       auto ls = llx(s);
       if (!ls.ok()) continue;
-      Node* scopy = s->leaf ? new Node(s->key, s->value)
-                            : new Node(s->key, to_node(ls.field(Node::kLeft)),
-                                       to_node(ls.field(Node::kRight)));
-      const LinkedLlx v[3] = {lgp.link(), lp.link(), ls.link()};
-      if (scx(v, 3, /*finalize p2+s=*/0b110, &gp->mut(gdir), as_word(p2),
-              as_word(scopy))) {
-        retire_record(p2);
-        retire_record(s);
-        retire_record(l);  // unreachable once p2 is unlinked (see header)
-        return true;
-      }
-      delete scopy;
+      ScxOp<Node> op;
+      op.link(lgp);
+      op.remove(lp);  // p2: finalized + retired by the builder
+      op.remove(ls);  // s: likewise
+      auto scopy = s->leaf
+                       ? op.freshly(s->key, s->value)
+                       : op.freshly(s->key, to_node(ls.field(Node::kLeft)),
+                                    to_node(ls.field(Node::kRight)));
+      op.orphan(l);  // unreachable once p2 is unlinked (see header)
+      op.write(gp, gdir, scopy);
+      if (op.commit()) return true;
     }
   }
 
@@ -208,9 +237,6 @@ class LlxScxBst {
   }
 
  private:
-  static std::uint64_t as_word(const Node* n) {
-    return reinterpret_cast<std::uint64_t>(n);
-  }
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static std::size_t dir_of(const Node* n, std::uint64_t key) {
     return key < n->key ? Node::kLeft : Node::kRight;

@@ -1,0 +1,56 @@
+// Unified container contract (DESIGN.md §9) — the harness-facing face of
+// every LLX/SCX container, in the uniform-rideable style of the Montage
+// test harness: one signature set so tests, stresses, and E9's bench can
+// drive any structure generically.
+//
+//   insert(key, value) — add an element; true iff a NEW key/element was
+//                        added (maps: upsert, false = value replaced;
+//                        stack/queue: push/enqueue a ⟨key,value⟩ element,
+//                        always true).
+//   erase(key)         — remove; true iff something was removed. Ordered
+//                        containers remove by key; LIFO/FIFO containers
+//                        document key-independent removal (pop/dequeue the
+//                        structural element and ignore the key).
+//   contains(key)      — membership by key, plain-read traversal
+//                        (Proposition 2: no LLX, no CAS).
+//   size()             — element count by traversal. Exact only when
+//                        quiescent; under concurrency it is a snapshot of
+//                        one serialization of the traversal.
+//   kName              — stable identifier for tables and logs.
+//
+// StepCounts hooks: every conforming container routes ALL of its shared
+// steps through the instrumented primitives (llx/scx via ScxOp, plain
+// traversal reads via Stats::count_read), so `steps_of` below measures the
+// exact shared-step cost of any operation — that is what lets the shape
+// tests pin k+1 CAS / f+2 writes per container operation.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "util/stats.h"
+
+namespace llxscx {
+
+template <typename C>
+concept LlxScxContainer =
+    requires(C c, const C& kc, std::uint64_t key, std::uint64_t value) {
+      { C::kName } -> std::convertible_to<const char*>;
+      { c.insert(key, value) } -> std::same_as<bool>;
+      { c.erase(key) } -> std::same_as<bool>;
+      { kc.contains(key) } -> std::same_as<bool>;
+      { kc.size() } -> std::same_as<std::size_t>;
+    };
+
+// The StepCounts hook: run one (or a few) container operations and get the
+// exact shared-step delta this thread spent on them. All zeros when built
+// with LLXSCX_COUNT_STEPS=OFF — callers gate on kStepCounting.
+template <typename Fn>
+StepCounts steps_of(Fn&& fn) {
+  const StepCounts before = Stats::my_snapshot();
+  std::forward<Fn>(fn)();
+  return Stats::my_snapshot() - before;
+}
+
+}  // namespace llxscx

@@ -1,0 +1,202 @@
+// Hash map on LLX/SCX (E9): a fixed power-of-two array of buckets, each a
+// Fig. 6-style sorted singly linked list of immutable ⟨key, value⟩
+// Data-records (head sentinel → nodes → tail sentinel), driven through
+// the ScxOp builder. Updates in distinct buckets have disjoint V-sets, so
+// by claim C-D they never interfere — the array is what turns the list's
+// contention profile into a scalable map.
+//
+// Shapes per bucket (identical to the multiset's, DESIGN.md §6/§9):
+//   upsert, key absent  — SCX(V=⟨pred⟩,             R=∅,           pred.next ← n)        k=1
+//   upsert, key present — SCX(V=⟨pred, cur⟩,        R=⟨cur⟩,       pred.next ← n′)       k=2
+//   erase               — SCX(V=⟨pred, cur, succ⟩,  R=⟨cur, succ⟩, pred.next ← succ′)    k=3
+//
+// A node's value is immutable: upsert on an existing key REPLACES the
+// node (fresh copy with the new value, old one finalized + retired), the
+// same discipline that keeps every installed pointer fresh everywhere
+// else in this repo. get()/contains() traverse with plain reads
+// (Proposition 2). The bucket count is fixed at construction — resizing
+// is a different paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "llxscx/llx_scx.h"
+#include "llxscx/scx_op.h"
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+
+struct HashMapNode : DataRecord<1> {
+  static constexpr std::size_t kNext = 0;
+
+  struct TailTag {};
+
+  HashMapNode(std::uint64_t k, std::uint64_t v, HashMapNode* n)
+      : key(k), value(v), tail(false) {
+    mut(kNext).store(reinterpret_cast<std::uint64_t>(n),
+                     std::memory_order_relaxed);
+  }
+  explicit HashMapNode(TailTag) : key(0), value(0), tail(true) {}
+
+  const std::uint64_t key;
+  const std::uint64_t value;
+  const bool tail;  // per-bucket end-of-list sentinel
+};
+
+class LlxScxHashMap {
+ public:
+  using Node = HashMapNode;
+  static constexpr const char* kName = "llxscx-hashmap";
+
+  // `buckets` is rounded up to a power of two (minimum 1).
+  explicit LlxScxHashMap(std::size_t buckets = 1024) {
+    std::size_t b = 1;
+    while (b < buckets) b <<= 1;
+    mask_ = b - 1;
+    heads_.reserve(b);
+    for (std::size_t i = 0; i < b; ++i) {
+      heads_.push_back(new Node(0, 0, new Node(Node::TailTag{})));
+    }
+  }
+  ~LlxScxHashMap() {
+    for (Node* head : heads_) {
+      Node* cur = head;
+      while (cur != nullptr) {
+        Node* next = cur->tail ? nullptr : next_of(cur);
+        delete cur;
+        cur = next;
+      }
+    }
+  }
+  LlxScxHashMap(const LlxScxHashMap&) = delete;
+  LlxScxHashMap& operator=(const LlxScxHashMap&) = delete;
+
+  // Insert-or-assign; returns true iff the key was newly inserted.
+  bool upsert(std::uint64_t key, std::uint64_t value) {
+    Epoch::Guard g;
+    Node* const head = heads_[bucket_of(key)];
+    for (;;) {
+      Node* pred = locate(head, key);
+      auto lp = llx(pred);
+      if (!lp.ok()) continue;
+      Node* cur = to_node(lp.field(Node::kNext));
+      if (!cur->tail && cur->key < key) continue;  // stale position
+      if (!cur->tail && cur->key == key) {
+        auto lc = llx(cur);
+        if (!lc.ok()) continue;
+        ScxOp<Node> op;
+        op.link(lp);
+        op.remove(lc);  // value change = node replacement (see header)
+        auto repl = op.freshly(key, value, to_node(lc.field(Node::kNext)));
+        op.write(pred, Node::kNext, repl);
+        if (op.commit()) return false;
+      } else {
+        ScxOp<Node> op;
+        op.link(lp);
+        auto n = op.freshly(key, value, cur);
+        op.write(pred, Node::kNext, n);
+        if (op.commit()) return true;
+      }
+    }
+  }
+
+  // Removes key if present; returns whether it was removed.
+  bool erase(std::uint64_t key) {
+    Epoch::Guard g;
+    Node* const head = heads_[bucket_of(key)];
+    for (;;) {
+      Node* pred = locate(head, key);
+      auto lp = llx(pred);
+      if (!lp.ok()) continue;
+      Node* cur = to_node(lp.field(Node::kNext));
+      if (!cur->tail && cur->key < key) continue;
+      if (cur->tail || cur->key != key) return false;
+      auto lc = llx(cur);
+      if (!lc.ok()) continue;
+      Node* succ = to_node(lc.field(Node::kNext));
+      auto ls = llx(succ);
+      if (!ls.ok()) continue;
+      ScxOp<Node> op;
+      op.link(lp);
+      op.remove(lc);
+      op.remove(ls);  // full-delete shape: successor copied, never re-linked
+      auto repl = succ->tail ? op.freshly(Node::TailTag{})
+                             : op.freshly(succ->key, succ->value,
+                                          to_node(ls.field(Node::kNext)));
+      op.write(pred, Node::kNext, repl);
+      if (op.commit()) return true;
+    }
+  }
+
+  std::optional<std::uint64_t> get(std::uint64_t key) const {
+    Epoch::Guard g;
+    const Node* cur = next_of(heads_[bucket_of(key)]);
+    while (!cur->tail && cur->key < key) cur = next_of(cur);
+    if (!cur->tail && cur->key == key) return cur->value;
+    return std::nullopt;
+  }
+
+  // Unified container interface (DESIGN.md §9).
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    return upsert(key, value);
+  }
+  bool contains(std::uint64_t key) const { return get(key).has_value(); }
+
+  std::size_t size() const {
+    Epoch::Guard g;
+    std::size_t n = 0;
+    for (const Node* head : heads_) {
+      for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  std::size_t bucket_count() const { return heads_.size(); }
+
+  // All ⟨key, value⟩ pairs, bucket by bucket. Quiescent callers only.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const Node* head : heads_) {
+      for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
+        out.emplace_back(cur->key, cur->value);
+      }
+    }
+    return out;
+  }
+
+ private:
+  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static Node* next_of(const Node* n) {
+    Stats::count_read();
+    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+  }
+
+  std::size_t bucket_of(std::uint64_t key) const {
+    // Fibonacci multiplicative spread so dense small-integer key sets
+    // (every bench and test) don't pile into the low buckets.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
+  // Plain-read search within one bucket for the last node with key' < key
+  // (possibly the bucket's head sentinel), exactly like the multiset's.
+  Node* locate(Node* head, std::uint64_t key) const {
+    const Node* pred = head;
+    const Node* cur = next_of(pred);
+    while (!cur->tail && cur->key < key) {
+      pred = cur;
+      cur = next_of(cur);
+    }
+    return const_cast<Node*>(pred);
+  }
+
+  std::size_t mask_ = 0;
+  std::vector<Node*> heads_;  // fixed after construction; owned
+};
+
+}  // namespace llxscx

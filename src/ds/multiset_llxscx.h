@@ -18,7 +18,10 @@
 //
 // Every SCX therefore installs a pointer to a node allocated within the
 // current operation; epoch reclamation keeps such an address from being
-// recycled while any thread that could help the SCX holds a guard.
+// recycled while any thread that could help the SCX holds a guard. The
+// discipline is enforced through the ScxOp builder (llxscx/scx_op.h):
+// fresh nodes come from freshly(), `old` always from the captured LLX
+// snapshot, and the builder retires the R-set exactly once on commit.
 //
 // Shapes (DESIGN.md §6):
 //   insert, key absent   — SCX(V=⟨pred⟩,            R=∅,          pred.next ← n)
@@ -38,6 +41,7 @@
 #include <vector>
 
 #include "llxscx/llx_scx.h"
+#include "llxscx/scx_op.h"
 #include "reclaim/epoch.h"
 
 namespace llxscx {
@@ -93,22 +97,19 @@ class BasicLlxScxMultiset {
       if (!cur->tail && cur->key == key) {
         auto lc = llx(cur);
         if (!lc.ok()) continue;
-        Node* repl = new Node(key, cur->count + count,
-                              to_node(lc.field(Node::kNext)));
-        const LinkedLlx v[2] = {lp.link(), lc.link()};
-        if (scx(v, 2, /*finalize cur=*/0b10, &pred->mut(Node::kNext),
-                as_word(cur), as_word(repl))) {
-          if (kReclaim) retire_record(cur);
-          return true;
-        }
-        delete repl;  // SCX aborted: repl was never published
+        ScxOp<Node> op(kReclaim);
+        op.link(lp);
+        op.remove(lc);
+        auto repl = op.freshly(key, cur->count + count,
+                               to_node(lc.field(Node::kNext)));
+        op.write(pred, Node::kNext, repl);
+        if (op.commit()) return true;
       } else {
-        Node* n = new Node(key, count, cur);
-        const LinkedLlx v[1] = {lp.link()};
-        if (scx(v, 1, 0, &pred->mut(Node::kNext), as_word(cur), as_word(n))) {
-          return true;
-        }
-        delete n;
+        ScxOp<Node> op(kReclaim);
+        op.link(lp);
+        auto n = op.freshly(key, count, cur);
+        op.write(pred, Node::kNext, n);
+        if (op.commit()) return true;
       }
     }
   }
@@ -125,16 +126,14 @@ class BasicLlxScxMultiset {
       if (cur->tail || cur->key != key) return 0;
       auto lc = llx(cur);
       if (!lc.ok()) continue;
-      const LinkedLlx v2[2] = {lp.link(), lc.link()};
       if (cur->count > count) {
-        Node* repl =
-            new Node(key, cur->count - count, to_node(lc.field(Node::kNext)));
-        if (scx(v2, 2, 0b10, &pred->mut(Node::kNext), as_word(cur),
-                as_word(repl))) {
-          if (kReclaim) retire_record(cur);
-          return count;
-        }
-        delete repl;
+        ScxOp<Node> op(kReclaim);
+        op.link(lp);
+        op.remove(lc);
+        auto repl = op.freshly(key, cur->count - count,
+                               to_node(lc.field(Node::kNext)));
+        op.write(pred, Node::kNext, repl);
+        if (op.commit()) return count;
       } else {
         // Full removal: the k=3 shape. The successor is finalized too and
         // replaced by a fresh copy, so pred.next receives a value it has
@@ -142,21 +141,16 @@ class BasicLlxScxMultiset {
         Node* succ = to_node(lc.field(Node::kNext));
         auto ls = llx(succ);
         if (!ls.ok()) continue;
-        Node* repl = succ->tail
-                         ? new Node(Node::TailTag{})
-                         : new Node(succ->key, succ->count,
-                                    to_node(ls.field(Node::kNext)));
         const std::uint64_t removed = cur->count;
-        const LinkedLlx v3[3] = {lp.link(), lc.link(), ls.link()};
-        if (scx(v3, 3, /*finalize cur+succ=*/0b110, &pred->mut(Node::kNext),
-                as_word(cur), as_word(repl))) {
-          if (kReclaim) {
-            retire_record(cur);
-            retire_record(succ);
-          }
-          return removed;
-        }
-        delete repl;
+        ScxOp<Node> op(kReclaim);
+        op.link(lp);
+        op.remove(lc);
+        op.remove(ls);
+        auto repl = succ->tail ? op.freshly(Node::TailTag{})
+                               : op.freshly(succ->key, succ->count,
+                                            to_node(ls.field(Node::kNext)));
+        op.write(pred, Node::kNext, repl);
+        if (op.commit()) return removed;
       }
     }
   }
@@ -203,9 +197,6 @@ class BasicLlxScxMultiset {
   }
 
  private:
-  static std::uint64_t as_word(const Node* n) {
-    return reinterpret_cast<std::uint64_t>(n);
-  }
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {
     Stats::count_read();

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "llxscx/llx_scx.h"
+#include "llxscx/scx_op.h"
 #include "reclaim/epoch.h"
 
 namespace llxscx {
@@ -128,20 +129,16 @@ class LlxScxPatricia {
           63 - static_cast<unsigned>(std::countl_zero(key ^ other));
       auto ln = llx(n);
       if (!ln.ok()) continue;
-      Node* ncopy = copy_of(n, ln);
-      Node* nl = new Node(key, value);
+      ScxOp<Node> op;
+      op.link(lp);
+      op.remove(ln);
+      auto ncopy = copy_of(op, n, ln);
+      auto nl = op.freshly(key, value);
       const std::uint64_t pfx = key & ~((std::uint64_t{2} << b) - 1);
-      Node* nb = ((key >> b) & 1) ? new Node(pfx, b, ncopy, nl)
-                                  : new Node(pfx, b, nl, ncopy);
-      const LinkedLlx v[2] = {lp.link(), ln.link()};
-      if (scx(v, 2, /*finalize n=*/0b10, &p->mut(dir), as_word(n),
-              as_word(nb))) {
-        retire_record(n);
-        return true;
-      }
-      delete ncopy;
-      delete nl;
-      delete nb;
+      auto nb = ((key >> b) & 1) ? op.freshly(pfx, b, ncopy.get(), nl.get())
+                                 : op.freshly(pfx, b, nl.get(), ncopy.get());
+      op.write(p, dir, nb);
+      if (op.commit()) return true;
     }
   }
 
@@ -177,16 +174,14 @@ class LlxScxPatricia {
       Node* s = to_node(lp.field(1 - d));
       auto ls = llx(s);
       if (!ls.ok()) continue;
-      Node* scopy = copy_of(s, ls);
-      const LinkedLlx v[3] = {lgp.link(), lp.link(), ls.link()};
-      if (scx(v, 3, /*finalize p2+s=*/0b110, &gp->mut(gdir), as_word(p2),
-              as_word(scopy))) {
-        retire_record(p2);
-        retire_record(s);
-        retire_record(l);
-        return true;
-      }
-      delete scopy;
+      ScxOp<Node> op;
+      op.link(lgp);
+      op.remove(lp);  // p2
+      op.remove(ls);  // s
+      auto scopy = copy_of(op, s, ls);
+      op.orphan(l);  // removed leaf: unreachable once p2 is unlinked
+      op.write(gp, gdir, scopy);
+      if (op.commit()) return true;
     }
   }
 
@@ -212,9 +207,6 @@ class LlxScxPatricia {
   }
 
  private:
-  static std::uint64_t as_word(const Node* n) {
-    return reinterpret_cast<std::uint64_t>(n);
-  }
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static std::size_t dir_of(const Node* n, std::uint64_t key) {
     return (key >> n->bit) & 1 ? Node::kRight : Node::kLeft;
@@ -224,11 +216,14 @@ class LlxScxPatricia {
     return ((key ^ n->prefix) >> n->bit) >> 1 == 0;
   }
   // Fresh structural copy from an LLX snapshot (immutable fields + the
-  // snapshotted children), as required by the fresh-node discipline.
-  static Node* copy_of(const Node* n, const LlxResult<2>& ln) {
-    return n->leaf ? new Node(n->key(), n->value)
-                   : new Node(n->prefix, n->bit, to_node(ln.field(Node::kLeft)),
-                              to_node(ln.field(Node::kRight)));
+  // snapshotted children), minted through the op so the builder owns it
+  // until commit — the fresh-node discipline, §8 rule 3.
+  static Fresh<Node> copy_of(ScxOp<Node>& op, const Node* n,
+                             const LlxResult<2>& ln) {
+    return n->leaf ? op.freshly(n->key(), n->value)
+                   : op.freshly(n->prefix, n->bit,
+                                to_node(ln.field(Node::kLeft)),
+                                to_node(ln.field(Node::kRight)));
   }
   static Node* read_child(const Node* n, std::size_t dir) {
     Stats::count_read();

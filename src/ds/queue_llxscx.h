@@ -1,0 +1,174 @@
+// FIFO queue on LLX/SCX (E9): a two-sentinel singly linked list driven
+// through the ScxOp builder, with k=2 enqueue and k=2 dequeue shapes.
+//
+// Structure: head sentinel Data-record (single mutable field: the first
+// element) → immutable ⟨key, value⟩ nodes → tail sentinel. Enqueue
+// REPLACES the tail sentinel (finalizing it) with the new node, which
+// carries a fresh tail sentinel behind it; dequeue unlinks the first node
+// by handing its snapshot successor into head.next.
+//
+// Shapes (DESIGN.md §9):
+//   enqueue — SCX(V=⟨last, tail⟩,  R=⟨tail⟩,  last.next ← n(→ tail′))
+//             k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes, 3 allocs (n + tail′ + descriptor)
+//   dequeue — SCX(V=⟨head, first⟩, R=⟨first⟩, head.next ← first.next)
+//             k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes, 1 alloc (descriptor only)
+//
+// Dequeue is the repo's one write_handoff() user: it installs an EXISTING
+// address (first's snapshot successor) instead of a fresh copy. The §3
+// usage assumption still holds — head.next never repeats a value — by
+// structure: a node enters head.next either when enqueued into an empty
+// queue (it is fresh) or when its unique predecessor is dequeued (the
+// handoff finalizes that predecessor, so it happens at most once), and
+// epoch reclamation keeps retired addresses from recurring while helpers
+// hold guards. Every other field only ever receives freshly()-minted
+// nodes. Copying the successor instead (as the stack must, because pushed
+// nodes DO revisit head.top) would cost k=3; the queue's one-way flow is
+// what buys the cheaper shape.
+//
+// enqueue's walk to the last edge is O(length) — the price of keeping
+// every update a single constant-size SCX with no auxiliary tail pointer
+// (a racy tail hint would dangle into reclaimed nodes). E9 queues stay
+// near-empty, so the walk is short; a chromatic-tree-style amortized tail
+// is future work (ROADMAP).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "llxscx/llx_scx.h"
+#include "llxscx/scx_op.h"
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+
+struct QueueNode : DataRecord<1> {
+  static constexpr std::size_t kNext = 0;
+
+  struct TailTag {};
+
+  QueueNode(std::uint64_t k, std::uint64_t v, QueueNode* n)
+      : key(k), value(v), tail(false) {
+    mut(kNext).store(reinterpret_cast<std::uint64_t>(n),
+                     std::memory_order_relaxed);
+  }
+  explicit QueueNode(TailTag) : key(0), value(0), tail(true) {}
+
+  const std::uint64_t key;
+  const std::uint64_t value;
+  const bool tail;  // end-of-list sentinel, replaced by every enqueue
+};
+
+class LlxScxQueue {
+ public:
+  using Node = QueueNode;
+  static constexpr const char* kName = "llxscx-queue";
+
+  LlxScxQueue() {
+    head_.mut(Node::kNext).store(
+        reinterpret_cast<std::uint64_t>(new Node(Node::TailTag{})),
+        std::memory_order_relaxed);
+  }
+  ~LlxScxQueue() {
+    Node* cur = next_of(&head_);
+    while (cur != nullptr) {
+      Node* next = cur->tail ? nullptr : next_of(cur);
+      delete cur;
+      cur = next;
+    }
+  }
+  LlxScxQueue(const LlxScxQueue&) = delete;
+  LlxScxQueue& operator=(const LlxScxQueue&) = delete;
+
+  bool enqueue(std::uint64_t key, std::uint64_t value) {
+    Epoch::Guard g;
+    for (;;) {
+      // Walk to the last edge: the node whose next is the tail sentinel.
+      Node* last = &head_;
+      for (Node* c = next_of(last); !c->tail; c = next_of(c)) last = c;
+      auto ll = llx(last);
+      if (!ll.ok()) continue;
+      Node* t = to_node(ll.field(Node::kNext));
+      if (!t->tail) continue;  // an enqueue slipped in behind us: re-walk
+      auto lt = llx(t);
+      if (!lt.ok()) continue;
+      ScxOp<Node> op;
+      op.link(ll);
+      op.remove(lt);  // the old tail sentinel is consumed by this enqueue
+      auto fresh_tail = op.freshly(Node::TailTag{});
+      auto n = op.freshly(key, value, fresh_tail.get());
+      op.write(last, Node::kNext, n);
+      if (op.commit()) return true;
+    }
+  }
+  bool enqueue(std::uint64_t v) { return enqueue(v, v); }
+
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> dequeue() {
+    Epoch::Guard g;
+    for (;;) {
+      auto lh = llx(&head_);
+      if (!lh.ok()) continue;
+      Node* first = to_node(lh.field(Node::kNext));
+      if (first->tail) return std::nullopt;
+      auto lf = llx(first);
+      if (!lf.ok()) continue;
+      const std::uint64_t k = first->key;
+      const std::uint64_t v = first->value;
+      ScxOp<Node> op;
+      op.link(lh);
+      op.remove(lf);
+      // Value-uniqueness argued in the header: first's successor has never
+      // been in head.next, and this handoff (which finalizes first) is the
+      // only op that can ever put it there.
+      op.write_handoff(&head_, Node::kNext, first, Node::kNext);
+      if (op.commit()) return std::make_pair(k, v);
+    }
+  }
+
+  // Unified container interface (DESIGN.md §9). erase() is the queue's
+  // structural removal — it dequeues the FRONT element and ignores the
+  // key (FIFO containers remove by position, not by key).
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    return enqueue(key, value);
+  }
+  bool erase(std::uint64_t /*key*/) { return dequeue().has_value(); }
+
+  bool contains(std::uint64_t key) const {
+    Epoch::Guard g;
+    for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
+      if (cur->key == key) return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const {
+    Epoch::Guard g;
+    std::size_t n = 0;
+    for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Front-to-back ⟨key, value⟩ snapshot. Quiescent callers only (tests).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
+      out.emplace_back(cur->key, cur->value);
+    }
+    return out;
+  }
+
+ private:
+  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static Node* next_of(const Node* n) {
+    Stats::count_read();
+    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+  }
+
+  // Head sentinel: its single mutable field points at the front element.
+  Node head_{0, 0, nullptr};
+};
+
+}  // namespace llxscx

@@ -1,0 +1,296 @@
+// ScxOp — the typed, structure-facing builder for SCX operations.
+//
+// DESIGN.md §8 used to be a prose checklist ("old must come from the LLX
+// snapshot", "new must be a fresh allocation", "retire R exactly once…")
+// that every structure re-implemented by hand. This builder turns the
+// checklist into an API: a structure accumulates the operation —
+//
+//   ScxOp<Node> op;                    // one op == one SCX attempt
+//   op.link(lp);                       // V-only: stability witness
+//   op.remove(lc);                     // V + R: finalized & retired on commit
+//   auto n = op.freshly(…ctor args…);  // fresh-copy construction, tracked
+//   op.write(pred, Node::kNext, n);    // fld ← new; old taken from lp's snapshot
+//   if (op.commit()) return …;         // SCX + exactly-once retirement
+//
+// and the builder enforces the §8 rules:
+//
+//   - `old` CANNOT be wrong: write() has no old parameter — it is always
+//     the owner's captured LLX-snapshot value (§8 rule 4, by construction).
+//   - `new` must be fresh: write() only accepts a Fresh<Node> token, and
+//     only this op's freshly() can mint one (§8 rule 3, at compile time);
+//     a token smuggled in from another op is caught at runtime.
+//   - fld's owner must be in V (checked), V is capped at ScxRecord::kMaxV,
+//     and exactly one field is written per SCX.
+//   - On commit the builder retires the R-set plus declared orphans
+//     (nodes the commit unlinked without finalizing, e.g. the trees'
+//     removed leaf) exactly once, in V order then declaration order; on
+//     abort it deletes every freshly() allocation instead (§8 rule 5).
+//   - validate() runs VLX over the accumulated V-set for read-only
+//     position checks (claim C-C) without building an SCX.
+//
+// Misuse reporting: every rule above that cannot be a compile error is a
+// cheap thread-local check (pointer compares on builder-local state — no
+// shared steps, so the pinned k+1-CAS / f+2-writes / alloc shapes are
+// byte-identical to hand-rolled SCX assembly). A violation poisons the op
+// — commit() then fails safely and frees the fresh nodes — and reports
+// through scx_op_misuse_handler(): tests install a recording handler;
+// with none installed the default prints the diagnostic and aborts (in
+// every build mode — a deterministic misuse inside a structure's retry
+// loop would otherwise livelock silently).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "llxscx/llx_scx.h"
+
+namespace llxscx {
+
+// The misuse diagnostics, exposed so tests can assert on the exact rule
+// that fired.
+inline constexpr const char kScxOpStaleSnapshot[] =
+    "ScxOp: link/remove needs an OK LLX snapshot (it failed or was finalized)";
+inline constexpr const char kScxOpNewNotFresh[] =
+    "ScxOp: `new` must be a freshly() allocation of THIS operation";
+inline constexpr const char kScxOpOwnerNotInV[] =
+    "ScxOp: the written field's owner record is not in V";
+inline constexpr const char kScxOpSourceNotInV[] =
+    "ScxOp: write_handoff source record is not in V";
+inline constexpr const char kScxOpSecondWrite[] =
+    "ScxOp: an SCX writes exactly one field";
+inline constexpr const char kScxOpNoWrite[] =
+    "ScxOp: commit() without a write()";
+inline constexpr const char kScxOpTooManyRecords[] =
+    "ScxOp: V exceeds ScxRecord::kMaxV";
+inline constexpr const char kScxOpTooManyFresh[] =
+    "ScxOp: more than kMaxFresh freshly() allocations in one operation";
+inline constexpr const char kScxOpTooManyOrphans[] =
+    "ScxOp: more than kMaxOrphans orphan() declarations in one operation";
+inline constexpr const char kScxOpBadField[] =
+    "ScxOp: field index out of the record's mutable range";
+
+// Installable hook for the diagnostics above (tests). nullptr = default:
+// print, and assert in debug builds; either way the op is poisoned and
+// commit() fails without touching shared memory.
+using ScxOpMisuseHandler = void (*)(const char* diagnostic);
+inline ScxOpMisuseHandler& scx_op_misuse_handler() {
+  static ScxOpMisuseHandler h = nullptr;
+  return h;
+}
+
+// Proof-of-freshness token: only ScxOp<NodeT>::freshly() mints one, so a
+// plain NodeT* — anything already published — cannot be passed to write()
+// (compile error). Converts back to NodeT* for building other fresh nodes
+// on top (a fresh internal node taking fresh leaves as children).
+template <typename NodeT>
+class Fresh {
+ public:
+  NodeT* get() const { return p_; }
+  NodeT* operator->() const { return p_; }
+  operator NodeT*() const { return p_; }
+
+ private:
+  explicit Fresh(NodeT* p) : p_(p) {}
+  NodeT* p_;
+
+  template <typename>
+  friend class ScxOp;
+};
+
+// One SCX operation over records of a single node type. Stack-allocated,
+// one per attempt (retry loops construct a new one per iteration); never
+// shared between threads. `reclaim = false` skips commit-time retirement
+// (the Leaky multiset variant for the E8 ablation).
+template <typename NodeT>
+class ScxOp {
+ public:
+  static constexpr std::size_t kMut = NodeT::kNumMut;
+  static constexpr std::size_t kMaxFresh = 8;
+  static constexpr std::size_t kMaxOrphans = 4;
+
+  explicit ScxOp(bool reclaim = true) : reclaim_(reclaim) {}
+  ~ScxOp() {
+    // An op dropped without commit() (a later LLX failed, or validate-only
+    // use) aborts: nothing was published, so the fresh nodes die with it.
+    if (!done_) delete_fresh();
+  }
+  ScxOp(const ScxOp&) = delete;
+  ScxOp& operator=(const ScxOp&) = delete;
+
+  // Add a record to V only: the SCX commits only if it is unchanged since
+  // the snapshot. Returns the typed record for convenience.
+  NodeT* link(const LlxResult<kMut>& l) { return add(l, /*finalize=*/false); }
+
+  // Add a record to V and R: on commit it is finalized (permanently
+  // frozen, LLX reports FINALIZED) and retired by this builder.
+  NodeT* remove(const LlxResult<kMut>& l) { return add(l, /*finalize=*/true); }
+
+  // Construct a fresh NodeT. The builder owns it until commit(): published
+  // on success, deleted on abort. Only these tokens are accepted as the
+  // SCX's `new` value (the §3 usage assumption: a value that has never
+  // appeared in fld before).
+  template <typename... Args>
+  Fresh<NodeT> freshly(Args&&... args) {
+    if (nfresh_ >= kMaxFresh) {
+      // Poison BEFORE allocating: an untracked node could never be freed.
+      // The null token is safe to pass onward (commit() will fail), but
+      // not to dereference — the op is already condemned.
+      misuse(kScxOpTooManyFresh);
+      return Fresh<NodeT>(nullptr);
+    }
+    NodeT* n = new NodeT(std::forward<Args>(args)...);
+    fresh_[nfresh_++] = n;
+    return Fresh<NodeT>(n);
+  }
+
+  // Declare a node the commit makes unreachable WITHOUT finalizing it (the
+  // trees' removed leaf: immutable fields, position covered by a finalized
+  // parent). Retired with the R-set, exactly once, on commit.
+  void orphan(NodeT* n) {
+    if (norphan_ >= kMaxOrphans) return misuse(kScxOpTooManyOrphans);
+    orphans_[norphan_++] = n;
+  }
+
+  // fld ← fresh node. `old` is implicitly owner's snapshot value of that
+  // field — the one value that makes "SCX committed ⇒ fld was written"
+  // true (§8 rule 4).
+  void write(NodeT* owner, std::size_t field, Fresh<NodeT> val) {
+    if (!is_fresh(val.get())) return misuse(kScxOpNewNotFresh);
+    write_word(owner, field, reinterpret_cast<std::uint64_t>(val.get()));
+  }
+
+  // fld ← a pointer captured in the snapshot of `src` (which must be in V,
+  // and is normally in R). This is the one sanctioned exception to the
+  // fresh-`new` rule, for shapes where the handed-off value provably never
+  // appeared in fld before — e.g. the queue's dequeue installing
+  // first.next into head.next: `first` enters head.next at most once in
+  // its lifetime, because the handoff finalizes the unique predecessor.
+  // The value-uniqueness argument is the calling structure's obligation;
+  // document it at the call site.
+  void write_handoff(NodeT* owner, std::size_t field, NodeT* src,
+                     std::size_t src_field) {
+    if (src_field >= kMut) return misuse(kScxOpBadField);
+    const std::size_t si = index_of(src);
+    if (si == kNpos) return misuse(kScxOpSourceNotInV);
+    write_word(owner, field, snap_[si].field(src_field));
+  }
+
+  // VLX over the accumulated V-set (claim C-C: k shared reads): true iff
+  // every linked record is still unchanged since its snapshot. Read-only —
+  // usable without (or before) a write.
+  bool validate() const { return !poisoned_ && k_ > 0 && vlx(v_, k_); }
+
+  bool poisoned() const { return poisoned_; }
+
+  // Run the SCX. True ⇒ committed: fld holds the new value, R is
+  // finalized, and R + orphans have been retired (exactly once — this
+  // builder is the only retirer, and it runs only on the committing
+  // thread). False ⇒ nothing was published; fresh nodes are freed.
+  bool commit() {
+    assert(!done_);
+    done_ = true;
+    if (fld_ == nullptr && !poisoned_) misuse(kScxOpNoWrite);
+    if (poisoned_) {
+      delete_fresh();
+      return false;
+    }
+    const bool ok = scx(v_, k_, fmask_, fld_, old_, new_);
+    if (!ok) {
+      delete_fresh();
+      return false;
+    }
+    if (reclaim_) {
+      for (std::size_t i = 0; i < k_; ++i) {
+        if (fmask_ & (1u << i)) retire_record(recs_[i]);
+      }
+      for (std::size_t i = 0; i < norphan_; ++i) retire_record(orphans_[i]);
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  NodeT* add(const LlxResult<kMut>& l, bool finalize) {
+    if (!l.ok()) {
+      misuse(kScxOpStaleSnapshot);
+      return nullptr;
+    }
+    if (k_ >= ScxRecord::kMaxV) {
+      misuse(kScxOpTooManyRecords);
+      return nullptr;
+    }
+    v_[k_] = l.link();
+    snap_[k_] = l;
+    recs_[k_] = static_cast<NodeT*>(l.link().rec);
+    if (finalize) fmask_ |= 1u << k_;
+    return recs_[k_++];
+  }
+
+  void write_word(NodeT* owner, std::size_t field, std::uint64_t val) {
+    if (field >= kMut) return misuse(kScxOpBadField);
+    if (fld_ != nullptr) return misuse(kScxOpSecondWrite);
+    const std::size_t i = index_of(owner);
+    if (i == kNpos) return misuse(kScxOpOwnerNotInV);
+    fld_ = &owner->mut(field);
+    old_ = snap_[i].field(field);
+    new_ = val;
+  }
+
+  std::size_t index_of(const NodeT* r) const {
+    for (std::size_t i = 0; i < k_; ++i) {
+      if (recs_[i] == r) return i;
+    }
+    return kNpos;
+  }
+
+  bool is_fresh(const NodeT* n) const {
+    for (std::size_t i = 0; i < nfresh_; ++i) {
+      if (fresh_[i] == n) return true;
+    }
+    return false;
+  }
+
+  void delete_fresh() {
+    // Reverse order: later fresh nodes may point at earlier ones, but
+    // nodes own nothing, so either order is safe; reverse mirrors
+    // construction for readability.
+    while (nfresh_ > 0) delete fresh_[--nfresh_];
+  }
+
+  void misuse(const char* what) {
+    poisoned_ = true;
+    if (ScxOpMisuseHandler h = scx_op_misuse_handler()) {
+      h(what);
+      return;
+    }
+    // No handler installed: fail fast in EVERY build mode. Merely letting
+    // commit() return false would turn a deterministic programming error
+    // into a silent infinite retry loop in the calling structure.
+    std::fprintf(stderr, "%s\n", what);
+    std::abort();
+  }
+
+  LinkedLlx v_[ScxRecord::kMaxV];
+  LlxResult<kMut> snap_[ScxRecord::kMaxV];
+  NodeT* recs_[ScxRecord::kMaxV];
+  std::size_t k_ = 0;
+  std::uint32_t fmask_ = 0;
+  NodeT* fresh_[kMaxFresh];
+  std::size_t nfresh_ = 0;
+  NodeT* orphans_[kMaxOrphans];
+  std::size_t norphan_ = 0;
+  std::atomic<std::uint64_t>* fld_ = nullptr;
+  std::uint64_t old_ = 0;
+  std::uint64_t new_ = 0;
+  const bool reclaim_;
+  bool done_ = false;
+  bool poisoned_ = false;
+};
+
+}  // namespace llxscx

@@ -5,18 +5,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <cstdlib>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <random>
-#include <thread>
 #include <vector>
 
 #include "ds/bst_llxscx.h"
-#include "util/barrier.h"
 #include "util/random.h"
 
 #include "tests/test_common.h"
@@ -131,63 +125,43 @@ TEST(BstStress, MatchesLockedOracleUnderContention) {
   constexpr std::uint64_t kKeySpace = 256;
 
   LlxScxBst t;
-  std::mutex oracle_mu;
   // Net membership per key: +1 per successful insert, −1 per successful
   // erase. Successes alternate per key, so the net is exactly 0 or 1 and
   // equals the final membership under any interleaving.
-  std::map<std::uint64_t, std::int64_t> oracle;
+  testing::KeyedOracle oracle;
 
-  SpinBarrier barrier(kThreads + 1);
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> pool;
-  std::atomic<std::uint64_t> total_ops{0};
-
-  for (int th = 0; th < kThreads; ++th) {
-    pool.emplace_back([&, th] {
-      Xoshiro256 rng(2000 + th);
-      std::uint64_t ops = 0;
-      std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;
-      barrier.arrive_and_wait();
-      while (!stop.load(std::memory_order_relaxed)) {
-        const std::uint64_t key = rng.percent(80)
-                                      ? 1 + rng.below(kHotKeys)
-                                      : 1 + rng.below(kKeySpace);
-        const unsigned dice = static_cast<unsigned>(rng.below(100));
-        if (dice < 35) {
-          if (t.insert(key, key * 10)) deltas.emplace_back(key, 1);
-        } else if (dice < 70) {
-          if (t.erase(key)) deltas.emplace_back(key, -1);
-        } else {
-          const auto v = t.get(key);
-          if (v.has_value()) {
-            // Values are derived from keys, so a torn or stale node would
-            // show up right here.
-            EXPECT_EQ(*v, key * 10);
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 2000,
+      [&](int, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        testing::KeyedOracle::Recorder rec(oracle);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key =
+              testing::skewed_key(rng, kHotKeys, kKeySpace);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 35) {
+            if (t.insert(key, key * 10)) rec.add(key, 1);
+          } else if (dice < 70) {
+            if (t.erase(key)) rec.add(key, -1);
+          } else if (dice < 85) {
+            const auto v = t.get(key);
+            if (v.has_value()) {
+              // Values are derived from keys, so a torn or stale node would
+              // show up right here.
+              EXPECT_EQ(*v, key * 10);
+            }
+          } else {
+            // The VLX-validated read must agree with the same invariant.
+            const auto v = t.get_validated(key);
+            if (v.has_value()) EXPECT_EQ(*v, key * 10);
           }
+          ++ops;
         }
-        ++ops;
-        if (deltas.size() >= 128) {
-          std::lock_guard<std::mutex> lock(oracle_mu);
-          for (const auto& [k, d] : deltas) oracle[k] += d;
-          deltas.clear();
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(oracle_mu);
-        for (const auto& [k, d] : deltas) oracle[k] += d;
-      }
-      total_ops.fetch_add(ops);
-    });
-  }
-
-  barrier.arrive_and_wait();
-  std::this_thread::sleep_for(std::chrono::milliseconds(testing::stress_millis()));
-  stop.store(true);
-  for (auto& th : pool) th.join();
+        return ops;
+      });
 
   for (std::uint64_t key = 1; key <= kKeySpace; ++key) {
-    const auto it = oracle.find(key);
-    const std::int64_t net = it == oracle.end() ? 0 : it->second;
+    const std::int64_t net = oracle.net(key);
     ASSERT_TRUE(net == 0 || net == 1) << "oracle accounting bug at " << key;
     EXPECT_EQ(t.get(key).has_value(), net == 1) << "divergence at key " << key;
   }
@@ -202,7 +176,7 @@ TEST(BstStress, MatchesLockedOracleUnderContention) {
     first = false;
   }
 
-  EXPECT_GT(total_ops.load(), 0u);
+  EXPECT_GT(total_ops, 0u);
   Epoch::drain_all_for_testing();
   EXPECT_EQ(Epoch::outstanding(), 0u)
       << "all retired nodes/descriptors must drain once threads quiesce";

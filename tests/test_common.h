@@ -1,8 +1,23 @@
-// Shared helpers for the test binaries.
+// Shared helpers for the test binaries: the stress-duration knob and the
+// multi-thread locked-oracle scaffolding that every structure's stress
+// test used to copy-paste (barrier + stop flag + worker pool + batched
+// delta tally). The per-structure tests supply only the op mix and the
+// final verification.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/barrier.h"
+#include "util/random.h"
 
 namespace llxscx::testing {
 
@@ -14,5 +29,78 @@ inline int stress_millis() {
   }
   return 2000;
 }
+
+// Runs `threads` workers behind a common start line for stress_millis(),
+// then flips the stop flag and joins. worker(thread_index, rng, stop)
+// returns its completed-op count; the sum is returned. The rng is seeded
+// per-thread from seed_base so runs are reproducible.
+template <typename WorkerFn>
+std::uint64_t run_stress_workers(int threads, unsigned seed_base,
+                                 WorkerFn worker) {
+  SpinBarrier barrier(threads + 1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      Xoshiro256 rng(seed_base + static_cast<unsigned>(t));
+      barrier.arrive_and_wait();
+      total_ops.fetch_add(worker(t, rng, stop));
+    });
+  }
+  barrier.arrive_and_wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(stress_millis()));
+  stop.store(true);
+  for (auto& th : pool) th.join();
+  return total_ops.load();
+}
+
+// The VLL-microbenchmark contention idiom (SNIPPETS.md §2): most
+// operations land on a small hot-key set, the rest spread over a larger
+// key space. Keys are 1-based so 0 stays available as a sentinel.
+inline std::uint64_t skewed_key(Xoshiro256& rng, std::uint64_t hot_keys,
+                                std::uint64_t key_space) {
+  return rng.percent(80) ? 1 + rng.below(hot_keys) : 1 + rng.below(key_space);
+}
+
+// Mutex-protected net-per-key tally. Workers record through a thread-local
+// Recorder that batches deltas (flushing every 128, and on destruction) so
+// the oracle lock never serializes the structure under test — the exact
+// scheme the copy-pasted stresses used.
+class KeyedOracle {
+ public:
+  class Recorder {
+   public:
+    explicit Recorder(KeyedOracle& oracle) : oracle_(oracle) {}
+    ~Recorder() { flush(); }
+    Recorder(const Recorder&) = delete;
+    Recorder& operator=(const Recorder&) = delete;
+
+    void add(std::uint64_t key, std::int64_t delta) {
+      deltas_.emplace_back(key, delta);
+      if (deltas_.size() >= 128) flush();
+    }
+    void flush() {
+      if (deltas_.empty()) return;
+      std::lock_guard<std::mutex> lock(oracle_.mu_);
+      for (const auto& [k, d] : deltas_) oracle_.net_[k] += d;
+      deltas_.clear();
+    }
+
+   private:
+    KeyedOracle& oracle_;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> deltas_;
+  };
+
+  // Workers must have joined (Recorders destroyed) before reading.
+  std::int64_t net(std::uint64_t key) const {
+    const auto it = net_.find(key);
+    return it == net_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::uint64_t, std::int64_t> net_;
+};
 
 }  // namespace llxscx::testing

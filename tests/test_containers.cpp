@@ -1,0 +1,371 @@
+// E9's containers (stack / queue / hash map on LLX/SCX via ScxOp):
+// sequential semantics through the unified container interface
+// (DESIGN.md §9), pinned SCX shapes per operation, and 4-thread stresses
+// — value conservation for the LIFO/FIFO containers, the locked-oracle
+// harness for the map — each ending with a fully drained epoch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ds/container_api.h"
+#include "ds/hashmap_llxscx.h"
+#include "ds/queue_llxscx.h"
+#include "ds/stack_llxscx.h"
+#include "util/random.h"
+
+#include "tests/test_common.h"
+
+namespace llxscx {
+namespace {
+
+static_assert(LlxScxContainer<LlxScxStack>);
+static_assert(LlxScxContainer<LlxScxQueue>);
+static_assert(LlxScxContainer<LlxScxHashMap>);
+
+// --- Stack ----------------------------------------------------------------
+
+TEST(Stack, LifoSemanticsThroughUnifiedInterface) {
+  LlxScxStack s;
+  EXPECT_FALSE(s.pop().has_value());
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.insert(1, 10));
+  EXPECT_TRUE(s.insert(2, 20));
+  EXPECT_TRUE(s.insert(3, 30));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(4));
+  auto p = s.pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->first, 3u);
+  EXPECT_EQ(p->second, 30u);
+  EXPECT_TRUE(s.erase(999)) << "LIFO erase pops the top, ignoring the key";
+  p = s.pop();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->first, 1u);
+  EXPECT_FALSE(s.pop().has_value());
+  Epoch::drain_all_for_testing();
+}
+
+// DESIGN.md §9: push is SCX(V=⟨head⟩, R=∅) — k=1 ⇒ 2 CAS, f=0 ⇒ 2 writes;
+// pop is SCX(V=⟨head,top,succ⟩, R=⟨top,succ⟩) — k=3 ⇒ 4 CAS, f=2 ⇒ 4
+// writes. Uncontended, so no retries inflate the counts.
+TEST(Stack, PushPopScxShapesArePinned) {
+  if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  LlxScxStack s;
+  ASSERT_TRUE(s.push(1, 10));
+  ASSERT_TRUE(s.push(2, 20));
+
+  StepCounts d = steps_of([&] { ASSERT_TRUE(s.push(3, 30)); });
+  EXPECT_EQ(d.llx_calls, 1u);
+  EXPECT_EQ(d.llx_fail, 0u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 2u) << "push: k+1 CAS with k=1";
+  EXPECT_EQ(d.shared_writes, 2u) << "push: f+2 writes with f=0";
+  EXPECT_EQ(d.allocations, 2u) << "1 fresh node + 1 SCX-record";
+
+  d = steps_of([&] { ASSERT_TRUE(s.pop().has_value()); });
+  EXPECT_EQ(d.llx_calls, 3u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 4u) << "pop: k+1 CAS with k=3";
+  EXPECT_EQ(d.shared_writes, 4u) << "pop: f+2 writes with f=2";
+  EXPECT_EQ(d.allocations, 2u) << "1 successor copy + 1 SCX-record";
+  Epoch::drain_all_for_testing();
+}
+
+TEST(StackStress, ConservesValuesUnderContention) {
+  constexpr int kThreads = 4;
+  LlxScxStack s;
+  std::vector<std::vector<std::uint64_t>> pushed(kThreads);
+  std::vector<std::vector<std::uint64_t>> popped(kThreads);
+
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 4000,
+      [&](int th, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        std::uint64_t ops = 0, seq = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (rng.percent(50)) {
+            // Tag each value with its producer so duplicates would show.
+            const std::uint64_t v =
+                (static_cast<std::uint64_t>(th + 1) << 48) | ++seq;
+            s.push(v, v ^ 0xABCD);
+            pushed[th].push_back(v);
+          } else {
+            const auto p = s.pop();
+            if (p.has_value()) {
+              EXPECT_EQ(p->second, p->first ^ 0xABCD) << "torn element";
+              popped[th].push_back(p->first);
+            }
+          }
+          ++ops;
+        }
+        return ops;
+      });
+
+  // Conservation: every pushed value was popped exactly once or is still
+  // in the stack, and nothing else ever came out.
+  std::vector<std::uint64_t> in, out;
+  for (const auto& v : pushed) in.insert(in.end(), v.begin(), v.end());
+  for (const auto& v : popped) out.insert(out.end(), v.begin(), v.end());
+  for (const auto& [k, v] : s.items()) {
+    EXPECT_EQ(v, k ^ 0xABCD);
+    out.push_back(k);
+  }
+  std::sort(in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(in, out) << "stack lost or duplicated elements";
+
+  EXPECT_GT(total_ops, 0u);
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u)
+      << "all retired nodes/descriptors must drain once threads quiesce";
+}
+
+// --- Queue ----------------------------------------------------------------
+
+TEST(Queue, FifoSemanticsThroughUnifiedInterface) {
+  LlxScxQueue q;
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_FALSE(q.erase(1));
+  EXPECT_EQ(q.size(), 0u);
+  for (std::uint64_t k = 1; k <= 5; ++k) EXPECT_TRUE(q.insert(k, k * 10));
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_TRUE(q.contains(3));
+  EXPECT_FALSE(q.contains(6));
+  for (std::uint64_t k = 1; k <= 5; ++k) {
+    const auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->first, k) << "FIFO order";
+    EXPECT_EQ(p->second, k * 10);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+  // Drain-and-refill exercises the tail-sentinel replacement cycle.
+  EXPECT_TRUE(q.enqueue(7, 70));
+  const auto p = q.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->first, 7u);
+  Epoch::drain_all_for_testing();
+}
+
+// DESIGN.md §9: enqueue is SCX(V=⟨last,tail⟩, R=⟨tail⟩) — k=2 ⇒ 3 CAS,
+// f=1 ⇒ 3 writes, 3 allocs (node + fresh tail + SCX-record); dequeue is
+// SCX(V=⟨head,first⟩, R=⟨first⟩) with the successor HANDED OFF, not
+// copied — k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes, and only the SCX-record is
+// allocated.
+TEST(Queue, EnqueueDequeueScxShapesArePinned) {
+  if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  LlxScxQueue q;
+  ASSERT_TRUE(q.enqueue(1, 10));
+  ASSERT_TRUE(q.enqueue(2, 20));
+
+  StepCounts d = steps_of([&] { ASSERT_TRUE(q.enqueue(3, 30)); });
+  EXPECT_EQ(d.llx_calls, 2u);
+  EXPECT_EQ(d.llx_fail, 0u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 3u) << "enqueue: k+1 CAS with k=2";
+  EXPECT_EQ(d.shared_writes, 3u) << "enqueue: f+2 writes with f=1";
+  EXPECT_EQ(d.allocations, 3u) << "node + fresh tail + SCX-record";
+
+  d = steps_of([&] { ASSERT_TRUE(q.dequeue().has_value()); });
+  EXPECT_EQ(d.llx_calls, 2u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 3u) << "dequeue: k+1 CAS with k=2";
+  EXPECT_EQ(d.shared_writes, 3u) << "dequeue: f+2 writes with f=1";
+  EXPECT_EQ(d.allocations, 1u) << "handoff: only the SCX-record";
+  Epoch::drain_all_for_testing();
+}
+
+TEST(QueueStress, ConservesValuesAndPerProducerOrder) {
+  constexpr int kThreads = 4;
+  LlxScxQueue q;
+  std::vector<std::vector<std::uint64_t>> enqueued(kThreads);
+  std::vector<std::vector<std::uint64_t>> dequeued(kThreads);
+
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 5000,
+      [&](int th, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        std::uint64_t ops = 0, seq = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (rng.percent(50)) {
+            const std::uint64_t v =
+                (static_cast<std::uint64_t>(th + 1) << 48) | ++seq;
+            q.enqueue(v, v ^ 0xF1F0);
+            enqueued[th].push_back(v);
+          } else {
+            const auto p = q.dequeue();
+            if (p.has_value()) {
+              EXPECT_EQ(p->second, p->first ^ 0xF1F0) << "torn element";
+              dequeued[th].push_back(p->first);
+            }
+          }
+          ++ops;
+        }
+        return ops;
+      });
+
+  // Conservation, exactly as for the stack.
+  std::vector<std::uint64_t> in, out;
+  for (const auto& v : enqueued) in.insert(in.end(), v.begin(), v.end());
+  for (const auto& v : dequeued) out.insert(out.end(), v.begin(), v.end());
+  std::vector<std::uint64_t> remaining;
+  for (const auto& [k, v] : q.items()) {
+    EXPECT_EQ(v, k ^ 0xF1F0);
+    remaining.push_back(k);
+    out.push_back(k);
+  }
+  std::sort(in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(in, out) << "queue lost or duplicated elements";
+
+  // FIFO: one producer's values pass through the queue in sequence order,
+  // so every consumer's view of that producer — and the final queue
+  // content — must be a subsequence of it (strictly increasing seq).
+  const auto check_increasing = [](const std::vector<std::uint64_t>& vals,
+                                   const char* where) {
+    std::uint64_t last[kThreads + 1] = {};
+    for (const std::uint64_t v : vals) {
+      const std::size_t producer = v >> 48;
+      const std::uint64_t seq = v & ((std::uint64_t{1} << 48) - 1);
+      EXPECT_GT(seq, last[producer]) << "FIFO violation in " << where;
+      last[producer] = seq;
+    }
+  };
+  for (int c = 0; c < kThreads; ++c) check_increasing(dequeued[c], "consumer");
+  check_increasing(remaining, "final queue");
+
+  EXPECT_GT(total_ops, 0u);
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u)
+      << "all retired nodes/descriptors must drain once threads quiesce";
+}
+
+// --- Hash map ---------------------------------------------------------------
+
+TEST(HashMap, UpsertGetEraseSemantics) {
+  LlxScxHashMap m(4);  // tiny bucket count: collisions guaranteed
+  EXPECT_EQ(m.bucket_count(), 4u);
+  EXPECT_FALSE(m.get(1).has_value());
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.size(), 0u);
+
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_TRUE(m.insert(k, k * 7)) << "fresh key must report inserted";
+  }
+  EXPECT_EQ(m.size(), 64u);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(m.contains(k)) << k;
+    EXPECT_EQ(*m.get(k), k * 7);
+  }
+  EXPECT_FALSE(m.upsert(10, 999)) << "existing key must report replaced";
+  EXPECT_EQ(*m.get(10), 999u);
+  EXPECT_EQ(m.size(), 64u) << "upsert must not duplicate the key";
+
+  for (std::uint64_t k = 0; k < 64; k += 2) EXPECT_TRUE(m.erase(k));
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(m.contains(k), k % 2 == 1) << k;
+  }
+  EXPECT_FALSE(m.erase(0)) << "double erase must fail";
+  EXPECT_EQ(m.size(), 32u);
+  Epoch::drain_all_for_testing();
+}
+
+// DESIGN.md §9 — the multiset's shapes, per bucket: upsert-absent k=1 ⇒
+// 2 CAS / 2 writes, upsert-present k=2 ⇒ 3 CAS / 3 writes (node
+// replacement), erase k=3 ⇒ 4 CAS / 4 writes (full-delete, successor
+// copied).
+TEST(HashMap, BucketScxShapesArePinned) {
+  if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  LlxScxHashMap m(8);
+
+  StepCounts d = steps_of([&] { ASSERT_TRUE(m.upsert(5, 50)); });
+  EXPECT_EQ(d.llx_calls, 1u);
+  EXPECT_EQ(d.llx_fail, 0u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 2u) << "upsert-absent: k+1 CAS with k=1";
+  EXPECT_EQ(d.shared_writes, 2u) << "upsert-absent: f+2 writes with f=0";
+  EXPECT_EQ(d.allocations, 2u) << "1 fresh node + 1 SCX-record";
+
+  d = steps_of([&] { ASSERT_FALSE(m.upsert(5, 51)); });
+  EXPECT_EQ(d.llx_calls, 2u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 3u) << "upsert-present: k+1 CAS with k=2";
+  EXPECT_EQ(d.shared_writes, 3u) << "upsert-present: f+2 writes with f=1";
+  EXPECT_EQ(d.allocations, 2u) << "1 replacement node + 1 SCX-record";
+
+  d = steps_of([&] { ASSERT_TRUE(m.erase(5)); });
+  EXPECT_EQ(d.llx_calls, 3u);
+  EXPECT_EQ(d.scx_calls, 1u);
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_EQ(d.cas, 4u) << "erase: k+1 CAS with k=3";
+  EXPECT_EQ(d.shared_writes, 4u) << "erase: f+2 writes with f=2";
+  EXPECT_EQ(d.allocations, 2u) << "1 successor copy + 1 SCX-record";
+  Epoch::drain_all_for_testing();
+}
+
+TEST(HashMapStress, MatchesLockedOracleUnderContention) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kHotKeys = 8;
+  constexpr std::uint64_t kKeySpace = 256;
+
+  // 16 buckets for 256 keys: long chains, so bucket-internal SCX conflicts
+  // actually happen.
+  LlxScxHashMap m(16);
+  testing::KeyedOracle oracle;  // net membership per key (0 or 1)
+
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 6000,
+      [&](int, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        testing::KeyedOracle::Recorder rec(oracle);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key =
+              testing::skewed_key(rng, kHotKeys, kKeySpace);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 35) {
+            if (m.upsert(key, key ^ 0xBEEF)) rec.add(key, 1);
+          } else if (dice < 70) {
+            if (m.erase(key)) rec.add(key, -1);
+          } else {
+            const auto v = m.get(key);
+            if (v.has_value()) EXPECT_EQ(*v, key ^ 0xBEEF);
+          }
+          ++ops;
+        }
+        return ops;
+      });
+
+  for (std::uint64_t key = 1; key <= kKeySpace; ++key) {
+    const std::int64_t net = oracle.net(key);
+    ASSERT_TRUE(net == 0 || net == 1) << "oracle accounting bug at " << key;
+    EXPECT_EQ(m.contains(key), net == 1) << "divergence at key " << key;
+  }
+
+  // Structural sanity: every stored pair is consistent and each key
+  // appears exactly once across all buckets.
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, value] : m.items()) {
+    EXPECT_EQ(value, key ^ 0xBEEF);
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end())
+      << "duplicate key across buckets";
+  EXPECT_EQ(keys.size(), m.size());
+
+  EXPECT_GT(total_ops, 0u);
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u)
+      << "all retired nodes/descriptors must drain once threads quiesce";
+}
+
+}  // namespace
+}  // namespace llxscx

@@ -10,18 +10,10 @@
 // binary stays far below its 10 s budget.
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <cstdlib>
-#include <map>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "ds/multiset_llxscx.h"
-#include "util/barrier.h"
 #include "util/random.h"
 
 #include "tests/test_common.h"
@@ -35,62 +27,35 @@ TEST(MultisetStress, MatchesLockedOracleUnderContention) {
   constexpr std::uint64_t kKeySpace = 256;  // 1-based: keys 1..256
 
   LlxScxMultiset ms;
-  std::mutex oracle_mu;
-  std::map<std::uint64_t, std::int64_t> oracle;  // net count per key
+  testing::KeyedOracle oracle;  // net count per key
 
-  SpinBarrier barrier(kThreads + 1);
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> pool;
-  std::atomic<std::uint64_t> total_ops{0};
-
-  for (int t = 0; t < kThreads; ++t) {
-    pool.emplace_back([&, t] {
-      Xoshiro256 rng(1000 + t);
-      std::uint64_t ops = 0;
-      // Batch oracle deltas so the oracle mutex doesn't serialize the run.
-      std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;
-      barrier.arrive_and_wait();
-      while (!stop.load(std::memory_order_relaxed)) {
-        const std::uint64_t key = rng.percent(80)
-                                      ? 1 + rng.below(kHotKeys)
-                                      : 1 + rng.below(kKeySpace);
-        const unsigned dice = static_cast<unsigned>(rng.below(100));
-        if (dice < 35) {
-          const std::uint64_t c = 1 + rng.below(3);
-          ms.insert(key, c);
-          deltas.emplace_back(key, static_cast<std::int64_t>(c));
-        } else if (dice < 70) {
-          const std::uint64_t removed = ms.erase(key, 1 + rng.below(3));
-          if (removed != 0) {
-            deltas.emplace_back(key, -static_cast<std::int64_t>(removed));
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 1000,
+      [&](int, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        testing::KeyedOracle::Recorder rec(oracle);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key =
+              testing::skewed_key(rng, kHotKeys, kKeySpace);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 35) {
+            const std::uint64_t c = 1 + rng.below(3);
+            ms.insert(key, c);
+            rec.add(key, static_cast<std::int64_t>(c));
+          } else if (dice < 70) {
+            const std::uint64_t removed = ms.erase(key, 1 + rng.below(3));
+            if (removed != 0) rec.add(key, -static_cast<std::int64_t>(removed));
+          } else {
+            ms.get(key);
           }
-        } else {
-          ms.get(key);
+          ++ops;
         }
-        ++ops;
-        if (deltas.size() >= 128) {
-          std::lock_guard<std::mutex> lock(oracle_mu);
-          for (const auto& [k, d] : deltas) oracle[k] += d;
-          deltas.clear();
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(oracle_mu);
-        for (const auto& [k, d] : deltas) oracle[k] += d;
-      }
-      total_ops.fetch_add(ops);
-    });
-  }
-
-  barrier.arrive_and_wait();
-  std::this_thread::sleep_for(std::chrono::milliseconds(testing::stress_millis()));
-  stop.store(true);
-  for (auto& th : pool) th.join();
+        return ops;
+      });
 
   // Final structure vs oracle, key for key over the whole key space.
   for (std::uint64_t key = 1; key <= kKeySpace; ++key) {
-    const auto it = oracle.find(key);
-    const std::int64_t expected = it == oracle.end() ? 0 : it->second;
+    const std::int64_t expected = oracle.net(key);
     ASSERT_GE(expected, 0) << "oracle accounting bug at key " << key;
     EXPECT_EQ(ms.get(key), static_cast<std::uint64_t>(expected))
         << "divergence at key " << key;
@@ -108,7 +73,7 @@ TEST(MultisetStress, MatchesLockedOracleUnderContention) {
     first = false;
   }
 
-  EXPECT_GT(total_ops.load(), 0u);
+  EXPECT_GT(total_ops, 0u);
   Epoch::drain_all_for_testing();
   EXPECT_EQ(Epoch::outstanding(), 0u)
       << "all retired nodes/descriptors must drain once threads quiesce";

@@ -5,17 +5,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <cstdlib>
-#include <map>
-#include <mutex>
 #include <random>
-#include <thread>
 #include <vector>
 
 #include "ds/patricia_llxscx.h"
-#include "util/barrier.h"
 #include "util/random.h"
 
 #include "tests/test_common.h"
@@ -147,59 +141,36 @@ TEST(PatriciaStress, MatchesLockedOracleUnderContention) {
   constexpr std::uint64_t kKeySpace = 256;
 
   LlxScxPatricia t;
-  std::mutex oracle_mu;
-  std::map<std::uint64_t, std::int64_t> oracle;  // net membership per key
+  testing::KeyedOracle oracle;  // net membership per key
 
-  SpinBarrier barrier(kThreads + 1);
-  std::atomic<bool> stop{false};
-  std::vector<std::thread> pool;
-  std::atomic<std::uint64_t> total_ops{0};
-
-  for (int th = 0; th < kThreads; ++th) {
-    pool.emplace_back([&, th] {
-      Xoshiro256 rng(3000 + th);
-      std::uint64_t ops = 0;
-      std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;
-      barrier.arrive_and_wait();
-      while (!stop.load(std::memory_order_relaxed)) {
-        // Spread hot keys across the word (multiply by a large odd
-        // constant) so contention hits deep shared-prefix splits too.
-        std::uint64_t key = rng.percent(80) ? 1 + rng.below(kHotKeys)
-                                            : 1 + rng.below(kKeySpace);
-        key *= 0x9E3779B97F4A7C15ull | 1;
-        const unsigned dice = static_cast<unsigned>(rng.below(100));
-        if (dice < 35) {
-          if (t.insert(key, key ^ 0xF00D)) deltas.emplace_back(key, 1);
-        } else if (dice < 70) {
-          if (t.erase(key)) deltas.emplace_back(key, -1);
-        } else {
-          const auto v = t.get(key);
-          if (v.has_value()) EXPECT_EQ(*v, key ^ 0xF00D);
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 3000,
+      [&](int, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        testing::KeyedOracle::Recorder rec(oracle);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Spread hot keys across the word (multiply by a large odd
+          // constant) so contention hits deep shared-prefix splits too.
+          const std::uint64_t key =
+              testing::skewed_key(rng, kHotKeys, kKeySpace) *
+              (0x9E3779B97F4A7C15ull | 1);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 35) {
+            if (t.insert(key, key ^ 0xF00D)) rec.add(key, 1);
+          } else if (dice < 70) {
+            if (t.erase(key)) rec.add(key, -1);
+          } else {
+            const auto v = t.get(key);
+            if (v.has_value()) EXPECT_EQ(*v, key ^ 0xF00D);
+          }
+          ++ops;
         }
-        ++ops;
-        if (deltas.size() >= 128) {
-          std::lock_guard<std::mutex> lock(oracle_mu);
-          for (const auto& [k, d] : deltas) oracle[k] += d;
-          deltas.clear();
-        }
-      }
-      {
-        std::lock_guard<std::mutex> lock(oracle_mu);
-        for (const auto& [k, d] : deltas) oracle[k] += d;
-      }
-      total_ops.fetch_add(ops);
-    });
-  }
-
-  barrier.arrive_and_wait();
-  std::this_thread::sleep_for(std::chrono::milliseconds(testing::stress_millis()));
-  stop.store(true);
-  for (auto& th : pool) th.join();
+        return ops;
+      });
 
   for (std::uint64_t base = 1; base <= kKeySpace; ++base) {
     const std::uint64_t key = base * (0x9E3779B97F4A7C15ull | 1);
-    const auto it = oracle.find(key);
-    const std::int64_t net = it == oracle.end() ? 0 : it->second;
+    const std::int64_t net = oracle.net(key);
     ASSERT_TRUE(net == 0 || net == 1) << "oracle accounting bug at " << key;
     EXPECT_EQ(t.get(key).has_value(), net == 1) << "divergence at key " << key;
   }
@@ -213,7 +184,7 @@ TEST(PatriciaStress, MatchesLockedOracleUnderContention) {
     first = false;
   }
 
-  EXPECT_GT(total_ops.load(), 0u);
+  EXPECT_GT(total_ops, 0u);
   Epoch::drain_all_for_testing();
   EXPECT_EQ(Epoch::outstanding(), 0u)
       << "all retired nodes/descriptors must drain once threads quiesce";
