@@ -1,39 +1,61 @@
-// Experiment E8 — reclamation ablation (§6 remark).
+// Experiment E8 — reclamation policy ablation (§6 remark).
 //
 // The paper's implementation "relies on the existence of efficient garbage
 // collection ... in other languages, such as C++, memory management is an
-// issue." This repo substitutes epoch-based reclamation (DESIGN.md §2).
-// The ablation runs the same erase-heavy multiset churn with reclamation
-// enabled vs disabled and reports throughput plus retained garbage: the
-// leaky variant's footprint grows with every removal (and every leaked node
-// pins its final SCX descriptor — the transitive cost of skipping
-// reclamation).
+// issue." This repo substitutes a pluggable RecordManager policy
+// (reclaim/record_manager.h); the ablation runs the same erase-heavy
+// multiset churn under each policy and reports throughput plus retained
+// garbage:
+//
+//   ebr   — epoch-deferred delete (the default; bounded garbage)
+//   leaky — retire() drops nodes on the floor: footprint grows with every
+//           removal, and every leaked node pins its final SCX descriptor
+//           (the transitive cost of skipping reclamation)
+//   pool  — epoch-deferred recycling into per-thread free lists: same
+//           safety as ebr, but steady-state node churn stops paying
+//           malloc/free (pool hits are reported)
+//
+// --json=<file> additionally emits the table as machine-readable JSON
+// (one object per row plus the build configuration), so successive PRs
+// can track a BENCH_*.json perf trajectory.
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "ds/multiset_llxscx.h"
+#include "util/memorder.h"
 #include "util/random.h"
 
 namespace llxscx {
 namespace {
 
 struct CellResult {
-  double ops_per_sec;
-  std::uint64_t allocations;
-  std::uint64_t freed;
-  std::uint64_t outstanding_after_drain;
+  int threads = 0;
+  const char* mode = "";
+  double ops_per_sec = 0;
+  std::uint64_t allocations = 0;
+  std::uint64_t freed = 0;
+  std::uint64_t outstanding_after_drain = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t leaked = 0;
 };
 
-template <typename MultisetT>
+template <class Reclaim>
 CellResult run_cell(int threads) {
-  Epoch::drain_all_for_testing();
+  Reclaim::drain();
   const std::uint64_t freed_before = Epoch::total_freed();
-  CellResult res{};
+  CellResult res;
+  res.threads = threads;
+  res.mode = Reclaim::kName;
+  std::vector<ReclaimStats> rstats(threads);
   {
-    MultisetT ms;
+    BasicLlxScxMultiset<Reclaim> ms;
     constexpr std::uint64_t kRange = 64;  // small: constant full-erase churn
     const auto r = bench::run_phase(
         threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
+          const ReclaimStats before = Reclaim::stats();
           Xoshiro256 rng(900 + t);
           std::uint64_t ops = 0;
           while (!stop.load(std::memory_order_relaxed)) {
@@ -45,48 +67,105 @@ CellResult run_cell(int threads) {
             }
             ++ops;
           }
+          rstats[t] = Reclaim::stats() - before;
           return ops;
         });
     res.ops_per_sec = r.ops_per_sec();
     res.allocations = r.steps.allocations;
   }
-  Epoch::drain_all_for_testing();
-  Epoch::drain_all_for_testing();
+  Reclaim::drain();
+  Reclaim::drain();
+  // Pool hits land on the freeing thread too (the drain above recycles on
+  // this one), but the per-worker deltas are what the policy cost the
+  // measured phase.
+  for (const ReclaimStats& s : rstats) {
+    res.pool_hits += s.pool_hits;
+    res.leaked += s.leaked;
+  }
   res.freed = Epoch::total_freed() - freed_before;
   res.outstanding_after_drain = Epoch::outstanding();
   return res;
 }
 
-void run() {
-  std::printf("E8: reclamation ablation — erase-heavy multiset churn, "
-              "%d ms per row\n", bench::phase_millis());
-  std::printf("claim: EBR bounds garbage at ~zero after drain; disabling node "
-              "reclamation leaks nodes AND the descriptors they pin\n\n");
+void emit_json(const char* path, const std::vector<CellResult>& cells) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_reclaim: cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_reclaim\",\n"
+               "  \"config\": {\"relaxed_orders\": %s, \"count_steps\": %s, "
+               "\"phase_ms\": %d},\n"
+               "  \"rows\": [\n",
+               kRelaxedOrders ? "true" : "false",
+               kStepCounting ? "true" : "false", bench::phase_millis());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"threads\": %d, \"mode\": \"%s\", \"ops_per_sec\": %.0f, "
+        "\"allocs\": %llu, \"freed\": %llu, \"outstanding_after_drain\": "
+        "%llu, \"pool_hits\": %llu, \"leaked\": %llu}%s\n",
+        c.threads, c.mode, c.ops_per_sec,
+        static_cast<unsigned long long>(c.allocations),
+        static_cast<unsigned long long>(c.freed),
+        static_cast<unsigned long long>(c.outstanding_after_drain),
+        static_cast<unsigned long long>(c.pool_hits),
+        static_cast<unsigned long long>(c.leaked),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
 
+void run(const char* json_path) {
+  std::printf("E8: reclamation policy ablation — erase-heavy multiset churn, "
+              "%d ms per row (orders: %s)\n",
+              bench::phase_millis(), kRelaxedOrders ? "relaxed" : "seq_cst");
+  std::printf("claim: EBR bounds garbage at ~zero after drain; the leaky "
+              "policy leaks nodes AND the descriptors they pin; the pool "
+              "policy recycles node storage per-thread\n\n");
+
+  std::vector<CellResult> cells;
   bench::Table t({"threads", "mode", "ops/s", "allocs", "freed via EBR",
-                  "in limbo after drain"});
+                  "in limbo after drain", "pool hits", "leaked"});
   for (int threads : bench::thread_grid({1, 4})) {
-    const CellResult ebr = run_cell<LlxScxMultiset>(threads);
-    t.add_row({std::to_string(threads), "EBR",
-               bench::fmt(ebr.ops_per_sec / 1e6, 3) + "M",
-               bench::fmt_u64(ebr.allocations), bench::fmt_u64(ebr.freed),
-               bench::fmt_u64(ebr.outstanding_after_drain)});
-    const CellResult leak = run_cell<LeakyLlxScxMultiset>(threads);
-    t.add_row({std::to_string(threads), "leak",
-               bench::fmt(leak.ops_per_sec / 1e6, 3) + "M",
-               bench::fmt_u64(leak.allocations), bench::fmt_u64(leak.freed),
-               bench::fmt_u64(leak.outstanding_after_drain)});
+    cells.push_back(run_cell<EbrManager>(threads));
+    cells.push_back(run_cell<LeakyManager>(threads));
+    cells.push_back(run_cell<PoolManager>(threads));
+  }
+  for (const CellResult& c : cells) {
+    t.add_row({std::to_string(c.threads), c.mode,
+               bench::fmt(c.ops_per_sec / 1e6, 3) + "M",
+               bench::fmt_u64(c.allocations), bench::fmt_u64(c.freed),
+               bench::fmt_u64(c.outstanding_after_drain),
+               bench::fmt_u64(c.pool_hits), bench::fmt_u64(c.leaked)});
   }
   t.print();
-  std::printf("\nnote: 'leak' rows free only descriptors whose records were "
+  std::printf("\nnote: 'leaky' rows free only descriptors whose records were "
               "all re-frozen later; removed nodes themselves are never "
-              "freed (unbounded footprint in a long-running process).\n");
+              "freed (unbounded footprint in a long-running process). "
+              "'pool' frees at thread exit; its drained blocks sit in "
+              "per-thread free lists, not the allocator.\n");
+  if (json_path != nullptr) emit_json(json_path, cells);
 }
 
 }  // namespace
 }  // namespace llxscx
 
-int main() {
-  llxscx::run();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=<file>]\n", argv[0]);
+      return 2;
+    }
+  }
+  llxscx::run(json_path);
   return 0;
 }

@@ -46,7 +46,8 @@
 
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 
 namespace llxscx {
 
@@ -67,17 +68,21 @@ struct BstNode : DataRecord<2> {
   const bool leaf;
 };
 
-class LlxScxBst {
+template <class Reclaim = EbrManager>
+class BasicLlxScxBst {
  public:
   using Node = BstNode;
+  using Domain = LlxScxDomain<Reclaim>;
 
   // User keys must be below kInf1; the two values above it are sentinels.
   static constexpr std::uint64_t kInf2 = ~std::uint64_t{0};
   static constexpr std::uint64_t kInf1 = kInf2 - 1;
 
-  LlxScxBst() : root_(kInf2, new Node(kInf1, 0), new Node(kInf2, 0)) {}
-  ~LlxScxBst() {
-    // Quiescent teardown (retired-but-undrained nodes are the epoch's).
+  BasicLlxScxBst()
+      : root_(kInf2, Domain::template make_record<Node>(kInf1, 0),
+              Domain::template make_record<Node>(kInf2, 0)) {}
+  ~BasicLlxScxBst() {
+    // Quiescent teardown (retired-but-undrained nodes are the policy's).
     // Iterative: a degenerate tree would blow the stack recursively.
     std::vector<Node*> stack{child(&root_, Node::kLeft),
                              child(&root_, Node::kRight)};
@@ -88,14 +93,14 @@ class LlxScxBst {
         stack.push_back(child(n, Node::kLeft));
         stack.push_back(child(n, Node::kRight));
       }
-      delete n;
+      Domain::reclaim_now(n);
     }
   }
-  LlxScxBst(const LlxScxBst&) = delete;
-  LlxScxBst& operator=(const LlxScxBst&) = delete;
+  BasicLlxScxBst(const BasicLlxScxBst&) = delete;
+  BasicLlxScxBst& operator=(const BasicLlxScxBst&) = delete;
 
   std::optional<std::uint64_t> get(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     const Node* n = read_child(&root_, dir_of(&root_, key));
     while (!n->leaf) n = read_child(n, dir_of(n, key));
     if (n->key == key) return n->value;
@@ -109,7 +114,7 @@ class LlxScxBst {
   // the walk, no CAS, no allocation; get() (plain reads, Proposition 2)
   // is the fast path, this is the belt-and-braces one.
   std::optional<std::uint64_t> get_validated(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       const Node* p = &root_;
       std::size_t dir = dir_of(p, key);
@@ -124,7 +129,7 @@ class LlxScxBst {
       if (!l->leaf) continue;  // tree grew below p since the walk
       auto ll = llx(l);
       if (!ll.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lp);
       op.link(ll);
       if (!op.validate()) continue;
@@ -135,7 +140,7 @@ class LlxScxBst {
 
   // Insert-if-absent; returns whether the key was inserted.
   bool insert(std::uint64_t key, std::uint64_t value) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       // Plain-read walk to the leaf's parent; everything the SCX consumes
       // is re-derived from the LLX snapshot of p below.
@@ -153,7 +158,7 @@ class LlxScxBst {
       if (l->key == key) return false;
       auto ll = llx(l);
       if (!ll.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lp);
       op.remove(ll);
       auto nl = op.freshly(key, value);
@@ -167,7 +172,7 @@ class LlxScxBst {
 
   // Removes key if present; returns whether it was removed.
   bool erase(std::uint64_t key) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       // Walk to the leaf tracking grandparent and parent.
       Node* gp = nullptr;
@@ -203,7 +208,7 @@ class LlxScxBst {
       Node* s = to_node(lp.field(1 - d));
       auto ls = llx(s);
       if (!ls.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lgp);
       op.remove(lp);  // p2: finalized + retired by the builder
       op.remove(ls);  // s: likewise
@@ -243,7 +248,9 @@ class LlxScxBst {
   }
   static Node* read_child(const Node* n, std::size_t dir) {
     Stats::count_read();
-    return to_node(n->mut(dir).load(std::memory_order_seq_cst));
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(dir).load(mo::acquire));
   }
   // Uninstrumented child load for quiescent teardown/snapshots.
   static Node* child(const Node* n, std::size_t dir) {
@@ -253,5 +260,7 @@ class LlxScxBst {
   // Permanent root sentinel: internal(kInf2), never frozen into any R-set.
   Node root_;
 };
+
+using LlxScxBst = BasicLlxScxBst<EbrManager>;
 
 }  // namespace llxscx

@@ -25,7 +25,8 @@
 
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 
 namespace llxscx {
 
@@ -46,37 +47,40 @@ struct HashMapNode : DataRecord<1> {
   const bool tail;  // per-bucket end-of-list sentinel
 };
 
-class LlxScxHashMap {
+template <class Reclaim = EbrManager>
+class BasicLlxScxHashMap {
  public:
   using Node = HashMapNode;
+  using Domain = LlxScxDomain<Reclaim>;
   static constexpr const char* kName = "llxscx-hashmap";
 
   // `buckets` is rounded up to a power of two (minimum 1).
-  explicit LlxScxHashMap(std::size_t buckets = 1024) {
+  explicit BasicLlxScxHashMap(std::size_t buckets = 1024) {
     std::size_t b = 1;
     while (b < buckets) b <<= 1;
     mask_ = b - 1;
     heads_.reserve(b);
     for (std::size_t i = 0; i < b; ++i) {
-      heads_.push_back(new Node(0, 0, new Node(Node::TailTag{})));
+      heads_.push_back(Domain::template make_record<Node>(
+          0, 0, Domain::template make_record<Node>(Node::TailTag{})));
     }
   }
-  ~LlxScxHashMap() {
+  ~BasicLlxScxHashMap() {
     for (Node* head : heads_) {
       Node* cur = head;
       while (cur != nullptr) {
         Node* next = cur->tail ? nullptr : next_of(cur);
-        delete cur;
+        Domain::reclaim_now(cur);
         cur = next;
       }
     }
   }
-  LlxScxHashMap(const LlxScxHashMap&) = delete;
-  LlxScxHashMap& operator=(const LlxScxHashMap&) = delete;
+  BasicLlxScxHashMap(const BasicLlxScxHashMap&) = delete;
+  BasicLlxScxHashMap& operator=(const BasicLlxScxHashMap&) = delete;
 
   // Insert-or-assign; returns true iff the key was newly inserted.
   bool upsert(std::uint64_t key, std::uint64_t value) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     Node* const head = heads_[bucket_of(key)];
     for (;;) {
       Node* pred = locate(head, key);
@@ -87,14 +91,14 @@ class LlxScxHashMap {
       if (!cur->tail && cur->key == key) {
         auto lc = llx(cur);
         if (!lc.ok()) continue;
-        ScxOp<Node> op;
+        ScxOp<Node, Reclaim> op;
         op.link(lp);
         op.remove(lc);  // value change = node replacement (see header)
         auto repl = op.freshly(key, value, to_node(lc.field(Node::kNext)));
         op.write(pred, Node::kNext, repl);
         if (op.commit()) return false;
       } else {
-        ScxOp<Node> op;
+        ScxOp<Node, Reclaim> op;
         op.link(lp);
         auto n = op.freshly(key, value, cur);
         op.write(pred, Node::kNext, n);
@@ -105,7 +109,7 @@ class LlxScxHashMap {
 
   // Removes key if present; returns whether it was removed.
   bool erase(std::uint64_t key) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     Node* const head = heads_[bucket_of(key)];
     for (;;) {
       Node* pred = locate(head, key);
@@ -119,7 +123,7 @@ class LlxScxHashMap {
       Node* succ = to_node(lc.field(Node::kNext));
       auto ls = llx(succ);
       if (!ls.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lp);
       op.remove(lc);
       op.remove(ls);  // full-delete shape: successor copied, never re-linked
@@ -132,7 +136,7 @@ class LlxScxHashMap {
   }
 
   std::optional<std::uint64_t> get(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     const Node* cur = next_of(heads_[bucket_of(key)]);
     while (!cur->tail && cur->key < key) cur = next_of(cur);
     if (!cur->tail && cur->key == key) return cur->value;
@@ -146,7 +150,7 @@ class LlxScxHashMap {
   bool contains(std::uint64_t key) const { return get(key).has_value(); }
 
   std::size_t size() const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     std::size_t n = 0;
     for (const Node* head : heads_) {
       for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
@@ -173,7 +177,9 @@ class LlxScxHashMap {
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {
     Stats::count_read();
-    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(Node::kNext).load(mo::acquire));
   }
 
   std::size_t bucket_of(std::uint64_t key) const {
@@ -198,5 +204,7 @@ class LlxScxHashMap {
   std::size_t mask_ = 0;
   std::vector<Node*> heads_;  // fixed after construction; owned
 };
+
+using LlxScxHashMap = BasicLlxScxHashMap<EbrManager>;
 
 }  // namespace llxscx

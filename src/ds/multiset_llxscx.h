@@ -17,11 +17,15 @@
 //     position is also represented by a fresh address.
 //
 // Every SCX therefore installs a pointer to a node allocated within the
-// current operation; epoch reclamation keeps such an address from being
-// recycled while any thread that could help the SCX holds a guard. The
-// discipline is enforced through the ScxOp builder (llxscx/scx_op.h):
-// fresh nodes come from freshly(), `old` always from the captured LLX
-// snapshot, and the builder retires the R-set exactly once on commit.
+// current operation; the Reclaim policy (reclaim/record_manager.h) keeps
+// such an address from being recycled while any thread that could help
+// the SCX holds a guard. The discipline is enforced through the ScxOp
+// builder (llxscx/scx_op.h): fresh nodes come from freshly(), `old`
+// always from the captured LLX snapshot, and the builder retires the
+// R-set exactly once on commit — through the same policy, so the E8
+// no-free ablation is just `BasicLlxScxMultiset<LeakyManager>` (the old
+// hand-rolled Leaky variant is gone) and per-thread node recycling is
+// `BasicLlxScxMultiset<PoolManager>`.
 //
 // Shapes (DESIGN.md §6):
 //   insert, key absent   — SCX(V=⟨pred⟩,            R=∅,          pred.next ← n)
@@ -29,11 +33,9 @@
 //   erase, partial count — SCX(V=⟨pred,cur⟩,        R=⟨cur⟩,      pred.next ← n′)
 //   erase, full count    — SCX(V=⟨pred,cur,succ⟩,   R=⟨cur,succ⟩, pred.next ← succ′)
 //
-// Get traverses with plain reads of next pointers (Proposition 2, §4.3);
+// Get traverses with plain reads (Proposition 2, §4.3);
 // get_llx_traversal is the deliberately-expensive variant E5 compares
-// against. Finalized nodes are retired through reclaim/epoch.h by the
-// thread whose SCX removed them; the Leaky alias skips that retire for the
-// E8 ablation.
+// against.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +44,8 @@
 
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 
 namespace llxscx {
 
@@ -63,23 +66,25 @@ struct MultisetNode : DataRecord<1> {
   const bool tail;  // end-of-list sentinel (compares greater than any key)
 };
 
-template <bool kReclaim>
+template <class Reclaim = EbrManager>
 class BasicLlxScxMultiset {
  public:
   using Node = MultisetNode;
+  using Domain = LlxScxDomain<Reclaim>;
 
   BasicLlxScxMultiset() {
     head_.mut(Node::kNext).store(
-        reinterpret_cast<std::uint64_t>(new Node(Node::TailTag{})),
+        reinterpret_cast<std::uint64_t>(
+            Domain::template make_record<Node>(Node::TailTag{})),
         std::memory_order_relaxed);
   }
   ~BasicLlxScxMultiset() {
-    // Quiescent teardown; removed-but-unreclaimed nodes are the epoch's
-    // (or, for the leaky variant, nobody's).
+    // Quiescent teardown; removed-but-unreclaimed nodes are the policy's
+    // (or, for the leaky policy, nobody's).
     Node* cur = next_of(&head_);
     while (cur != nullptr) {
       Node* next = cur->tail ? nullptr : next_of(cur);
-      delete cur;
+      Domain::reclaim_now(cur);
       cur = next;
     }
   }
@@ -87,7 +92,7 @@ class BasicLlxScxMultiset {
   BasicLlxScxMultiset& operator=(const BasicLlxScxMultiset&) = delete;
 
   bool insert(std::uint64_t key, std::uint64_t count = 1) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       Node* pred = locate(key);
       auto lp = llx(pred);
@@ -97,7 +102,7 @@ class BasicLlxScxMultiset {
       if (!cur->tail && cur->key == key) {
         auto lc = llx(cur);
         if (!lc.ok()) continue;
-        ScxOp<Node> op(kReclaim);
+        ScxOp<Node, Reclaim> op;
         op.link(lp);
         op.remove(lc);
         auto repl = op.freshly(key, cur->count + count,
@@ -105,7 +110,7 @@ class BasicLlxScxMultiset {
         op.write(pred, Node::kNext, repl);
         if (op.commit()) return true;
       } else {
-        ScxOp<Node> op(kReclaim);
+        ScxOp<Node, Reclaim> op;
         op.link(lp);
         auto n = op.freshly(key, count, cur);
         op.write(pred, Node::kNext, n);
@@ -116,7 +121,7 @@ class BasicLlxScxMultiset {
 
   // Removes up to `count` copies of key; returns how many were removed.
   std::uint64_t erase(std::uint64_t key, std::uint64_t count = 1) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       Node* pred = locate(key);
       auto lp = llx(pred);
@@ -127,7 +132,7 @@ class BasicLlxScxMultiset {
       auto lc = llx(cur);
       if (!lc.ok()) continue;
       if (cur->count > count) {
-        ScxOp<Node> op(kReclaim);
+        ScxOp<Node, Reclaim> op;
         op.link(lp);
         op.remove(lc);
         auto repl = op.freshly(key, cur->count - count,
@@ -142,7 +147,7 @@ class BasicLlxScxMultiset {
         auto ls = llx(succ);
         if (!ls.ok()) continue;
         const std::uint64_t removed = cur->count;
-        ScxOp<Node> op(kReclaim);
+        ScxOp<Node, Reclaim> op;
         op.link(lp);
         op.remove(lc);
         op.remove(ls);
@@ -159,7 +164,7 @@ class BasicLlxScxMultiset {
 
   // Multiplicity of key, traversing with plain reads (Proposition 2).
   std::uint64_t get(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     const Node* cur = next_of(&head_);
     while (!cur->tail && cur->key < key) cur = next_of(cur);
     return (!cur->tail && cur->key == key) ? cur->count : 0;
@@ -168,7 +173,7 @@ class BasicLlxScxMultiset {
   // The E5 strawman: the same search but LLX-ing every node on the path,
   // restarting whenever a node is frozen or finalized underfoot.
   std::uint64_t get_llx_traversal(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       auto lh = llx(&head_);
       if (!lh.ok()) continue;
@@ -200,7 +205,9 @@ class BasicLlxScxMultiset {
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {
     Stats::count_read();
-    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(Node::kNext).load(mo::acquire));
   }
 
   // Plain-read search for the last node with key' < key (possibly the
@@ -222,7 +229,6 @@ class BasicLlxScxMultiset {
   Node head_{0, 0, nullptr};
 };
 
-using LlxScxMultiset = BasicLlxScxMultiset<true>;
-using LeakyLlxScxMultiset = BasicLlxScxMultiset<false>;
+using LlxScxMultiset = BasicLlxScxMultiset<EbrManager>;
 
 }  // namespace llxscx

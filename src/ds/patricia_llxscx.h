@@ -41,7 +41,8 @@
 
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 
 namespace llxscx {
 
@@ -68,16 +69,19 @@ struct PatriciaNode : DataRecord<2> {
   const bool leaf;
 };
 
-class LlxScxPatricia {
+template <class Reclaim = EbrManager>
+class BasicLlxScxPatricia {
  public:
   using Node = PatriciaNode;
+  using Domain = LlxScxDomain<Reclaim>;
 
   // All-ones is the permanent rightmost sentinel leaf; user keys below it.
   static constexpr std::uint64_t kSentinelKey = ~std::uint64_t{0};
 
-  LlxScxPatricia()
-      : root_(/*pfx=*/0, /*bit=*/64, new Node(kSentinelKey, 0), nullptr) {}
-  ~LlxScxPatricia() {
+  BasicLlxScxPatricia()
+      : root_(/*pfx=*/0, /*bit=*/64,
+              Domain::template make_record<Node>(kSentinelKey, 0), nullptr) {}
+  ~BasicLlxScxPatricia() {
     // Quiescent teardown; depth is bounded by 65 but iterate anyway to
     // match the BST idiom.
     std::vector<Node*> stack{child(&root_, Node::kLeft)};
@@ -88,14 +92,14 @@ class LlxScxPatricia {
         stack.push_back(child(n, Node::kLeft));
         stack.push_back(child(n, Node::kRight));
       }
-      delete n;
+      Domain::reclaim_now(n);
     }
   }
-  LlxScxPatricia(const LlxScxPatricia&) = delete;
-  LlxScxPatricia& operator=(const LlxScxPatricia&) = delete;
+  BasicLlxScxPatricia(const BasicLlxScxPatricia&) = delete;
+  BasicLlxScxPatricia& operator=(const BasicLlxScxPatricia&) = delete;
 
   std::optional<std::uint64_t> get(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     const Node* n = read_child(&root_, Node::kLeft);
     while (!n->leaf) n = read_child(n, dir_of(n, key));
     if (n->key() == key) return n->value;
@@ -104,7 +108,7 @@ class LlxScxPatricia {
 
   // Insert-if-absent; returns whether the key was inserted.
   bool insert(std::uint64_t key, std::uint64_t value) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       // Walk until the local split condition fires at the edge p→n: n is a
       // leaf, or n's prefix disagrees with key above n's bit. Both checks
@@ -129,7 +133,7 @@ class LlxScxPatricia {
           63 - static_cast<unsigned>(std::countl_zero(key ^ other));
       auto ln = llx(n);
       if (!ln.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lp);
       op.remove(ln);
       auto ncopy = copy_of(op, n, ln);
@@ -144,7 +148,7 @@ class LlxScxPatricia {
 
   // Removes key if present; returns whether it was removed.
   bool erase(std::uint64_t key) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       Node* gp = nullptr;
       std::size_t gdir = 0;
@@ -174,7 +178,7 @@ class LlxScxPatricia {
       Node* s = to_node(lp.field(1 - d));
       auto ls = llx(s);
       if (!ls.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lgp);
       op.remove(lp);  // p2
       op.remove(ls);  // s
@@ -218,7 +222,7 @@ class LlxScxPatricia {
   // Fresh structural copy from an LLX snapshot (immutable fields + the
   // snapshotted children), minted through the op so the builder owns it
   // until commit — the fresh-node discipline, §8 rule 3.
-  static Fresh<Node> copy_of(ScxOp<Node>& op, const Node* n,
+  static Fresh<Node> copy_of(ScxOp<Node, Reclaim>& op, const Node* n,
                              const LlxResult<2>& ln) {
     return n->leaf ? op.freshly(n->key(), n->value)
                    : op.freshly(n->prefix, n->bit,
@@ -227,7 +231,9 @@ class LlxScxPatricia {
   }
   static Node* read_child(const Node* n, std::size_t dir) {
     Stats::count_read();
-    return to_node(n->mut(dir).load(std::memory_order_seq_cst));
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(dir).load(mo::acquire));
   }
   static Node* child(const Node* n, std::size_t dir) {
     return to_node(n->mut(dir).load(std::memory_order_relaxed));
@@ -236,5 +242,7 @@ class LlxScxPatricia {
   // Root pseudo-branch (bit 64): the trie is its left child, right unused.
   Node root_;
 };
+
+using LlxScxPatricia = BasicLlxScxPatricia<EbrManager>;
 
 }  // namespace llxscx

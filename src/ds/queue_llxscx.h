@@ -1,5 +1,6 @@
 // FIFO queue on LLX/SCX (E9): a two-sentinel singly linked list driven
-// through the ScxOp builder, with k=2 enqueue and k=2 dequeue shapes.
+// through the ScxOp builder, with k=2 enqueue and k=2 dequeue shapes and
+// an amortized tail hint that makes enqueue O(1) on the steady state.
 //
 // Structure: head sentinel Data-record (single mutable field: the first
 // element) → immutable ⟨key, value⟩ nodes → tail sentinel. Enqueue
@@ -9,9 +10,11 @@
 //
 // Shapes (DESIGN.md §9):
 //   enqueue — SCX(V=⟨last, tail⟩,  R=⟨tail⟩,  last.next ← n(→ tail′))
-//             k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes, 3 allocs (n + tail′ + descriptor)
+//             k=2 ⇒ 3 CAS + 1 hint-publish CAS, f=1 ⇒ 3 writes,
+//             3 allocs (n + tail′ + descriptor)
 //   dequeue — SCX(V=⟨head, first⟩, R=⟨first⟩, head.next ← first.next)
-//             k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes, 1 alloc (descriptor only)
+//             k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes + 1 hint-invalidate write,
+//             1 alloc (descriptor only)
 //
 // Dequeue is the repo's one write_handoff() user: it installs an EXISTING
 // address (first's snapshot successor) instead of a fresh copy. The §3
@@ -19,17 +22,47 @@
 // structure: a node enters head.next either when enqueued into an empty
 // queue (it is fresh) or when its unique predecessor is dequeued (the
 // handoff finalizes that predecessor, so it happens at most once), and
-// epoch reclamation keeps retired addresses from recurring while helpers
-// hold guards. Every other field only ever receives freshly()-minted
-// nodes. Copying the successor instead (as the stack must, because pushed
-// nodes DO revisit head.top) would cost k=3; the queue's one-way flow is
-// what buys the cheaper shape.
+// the reclamation policy keeps retired addresses from recurring while
+// helpers hold guards. Every other field only ever receives freshly()-
+// minted nodes. Copying the successor instead (as the stack must, because
+// pushed nodes DO revisit head.top) would cost k=3; the queue's one-way
+// flow is what buys the cheaper shape.
 //
-// enqueue's walk to the last edge is O(length) — the price of keeping
-// every update a single constant-size SCX with no auxiliary tail pointer
-// (a racy tail hint would dangle into reclaimed nodes). E9 queues stay
-// near-empty, so the walk is short; a chromatic-tree-style amortized tail
-// is future work (ROADMAP).
+// The tail hint (ROADMAP's O(length)-enqueue item). hint_ is a single
+// atomic word: 0 = empty, even = a Node* some enqueue published after
+// committing, odd = a process-unique invalidation stamp. A naive hint
+// would dangle into reclaimed nodes; this one is governed by three rules
+// that make every dereference provably safe:
+//
+//   1. PUBLISH by CAS, expected = the hint value read at the START of the
+//      op (before the node existed), exactly once, after commit. A stalled
+//      enqueuer can therefore never install its node after that node has
+//      been dequeued: the dequeuer's stamp (rule 2) lands in hint_'s
+//      modification order between the read and the late CAS, every value
+//      written to hint_ is unique (fresh addresses — see rule 3 — or
+//      fresh stamps), so the expected value cannot recur and the CAS
+//      fails.
+//   2. INVALIDATE before retire: each dequeue attempt stores a fresh odd
+//      stamp before its SCX can commit (and hence before the builder
+//      retires the removed node). With rule 1 this yields the invariant:
+//      a pointer read from hint_ is a node that was NOT YET RETIRED at
+//      the moment of the read — so a reader holding a Guard may
+//      dereference it (LLX it) even if it has since been dequeued.
+//   3. VALIDATE by LLX before trusting: the enqueuer LLXes the hint node.
+//      FAIL/FINALIZED ⇒ fall back to walking from the head sentinel. OK
+//      ⇒ the node was still un-dequeued at the LLX, hence every node
+//      after it is also un-dequeued at that instant, hence their retires
+//      all postdate this thread's guard and the forward walk is safe.
+//      (Walking forward from a hint that was merely unretired would NOT
+//      be safe: nodes dequeued AFTER the hint node but BEFORE our guard
+//      began could already be freed. The LLX is what rules that out.)
+//
+// Uniqueness of stamps uses a thread id + per-thread counter (no shared
+// steps); pointers are even, stamps odd, so the two can never collide.
+// Under dequeue traffic the hint is perpetually stamped out and enqueue
+// degrades to the original full walk; in enqueue bursts — exactly when
+// the queue grows long and the walk would hurt — each enqueue starts from
+// the previous one's node, making the walk amortized O(1).
 #pragma once
 
 #include <cstdint>
@@ -39,7 +72,8 @@
 
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 
 namespace llxscx {
 
@@ -60,52 +94,82 @@ struct QueueNode : DataRecord<1> {
   const bool tail;  // end-of-list sentinel, replaced by every enqueue
 };
 
-class LlxScxQueue {
+template <class Reclaim = EbrManager>
+class BasicLlxScxQueue {
  public:
   using Node = QueueNode;
+  using Domain = LlxScxDomain<Reclaim>;
   static constexpr const char* kName = "llxscx-queue";
 
-  LlxScxQueue() {
+  BasicLlxScxQueue() {
     head_.mut(Node::kNext).store(
-        reinterpret_cast<std::uint64_t>(new Node(Node::TailTag{})),
+        reinterpret_cast<std::uint64_t>(
+            Domain::template make_record<Node>(Node::TailTag{})),
         std::memory_order_relaxed);
   }
-  ~LlxScxQueue() {
+  ~BasicLlxScxQueue() {
     Node* cur = next_of(&head_);
     while (cur != nullptr) {
       Node* next = cur->tail ? nullptr : next_of(cur);
-      delete cur;
+      Domain::reclaim_now(cur);
       cur = next;
     }
   }
-  LlxScxQueue(const LlxScxQueue&) = delete;
-  LlxScxQueue& operator=(const LlxScxQueue&) = delete;
+  BasicLlxScxQueue(const BasicLlxScxQueue&) = delete;
+  BasicLlxScxQueue& operator=(const BasicLlxScxQueue&) = delete;
 
   bool enqueue(std::uint64_t key, std::uint64_t value) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
+      Stats::count_read();
+      // acquire: a pointer value reads-from a publish CAS (release), which
+      // carries the pointee's construction — safe to LLX below.
+      const std::uint64_t h0 = hint_.load(mo::acquire);
+      Node* start = &head_;
+      LlxResult<1> lstart = LlxResult<1>::fail();
+      if (h0 != 0 && (h0 & 1) == 0) {
+        // Hint rule 3: LLX before trusting. Memory-safe by rule 2 (the
+        // pointer was unretired at the load, and our guard predates any
+        // later retire of it).
+        lstart = llx(to_node(h0));
+        if (lstart.ok()) start = to_node(h0);
+        // FAIL/FINALIZED: stale hint — fall back to the head walk.
+      }
       // Walk to the last edge: the node whose next is the tail sentinel.
-      Node* last = &head_;
-      for (Node* c = next_of(last); !c->tail; c = next_of(c)) last = c;
-      auto ll = llx(last);
+      Node* last = start;
+      for (Node* c = lstart.ok() ? to_node(lstart.field(Node::kNext))
+                                 : next_of(last);
+           !c->tail; c = next_of(c)) {
+        last = c;
+      }
+      auto ll = (last == start && lstart.ok()) ? lstart : llx(last);
       if (!ll.ok()) continue;
       Node* t = to_node(ll.field(Node::kNext));
       if (!t->tail) continue;  // an enqueue slipped in behind us: re-walk
       auto lt = llx(t);
       if (!lt.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(ll);
       op.remove(lt);  // the old tail sentinel is consumed by this enqueue
       auto fresh_tail = op.freshly(Node::TailTag{});
       auto n = op.freshly(key, value, fresh_tail.get());
       op.write(last, Node::kNext, n);
-      if (op.commit()) return true;
+      if (op.commit()) {
+        // Hint rule 1: one-shot publish, expected = the value read before
+        // n existed. release: the pointee's visibility edge for readers.
+        std::uint64_t expected = h0;
+        Stats::count_cas();
+        hint_.compare_exchange_strong(
+            expected, reinterpret_cast<std::uint64_t>(n.get()), mo::release,
+            mo::relaxed);
+        return true;
+      }
     }
   }
   bool enqueue(std::uint64_t v) { return enqueue(v, v); }
 
   std::optional<std::pair<std::uint64_t, std::uint64_t>> dequeue() {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       auto lh = llx(&head_);
       if (!lh.ok()) continue;
@@ -115,7 +179,15 @@ class LlxScxQueue {
       if (!lf.ok()) continue;
       const std::uint64_t k = first->key;
       const std::uint64_t v = first->value;
-      ScxOp<Node> op;
+      // Hint rule 2: stamp the hint BEFORE the commit that retires
+      // `first` can happen (the builder retires inside commit()). A
+      // failed attempt stamps spuriously — harmless, the hint is only an
+      // accelerator. release: orders the stamp before this thread's
+      // subsequent retire-visible effects on the coherence order of
+      // hint_ (the rule-1 proof consumes it).
+      Stats::count_write();
+      hint_.store(fresh_hint_stamp(), mo::release);
+      ScxOp<Node, Reclaim> op;
       op.link(lh);
       op.remove(lf);
       // Value-uniqueness argued in the header: first's successor has never
@@ -135,7 +207,7 @@ class LlxScxQueue {
   bool erase(std::uint64_t /*key*/) { return dequeue().has_value(); }
 
   bool contains(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
       if (cur->key == key) return true;
     }
@@ -143,7 +215,7 @@ class LlxScxQueue {
   }
 
   std::size_t size() const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     std::size_t n = 0;
     for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
       ++n;
@@ -164,11 +236,36 @@ class LlxScxQueue {
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {
     Stats::count_read();
-    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(Node::kNext).load(mo::acquire));
+  }
+
+  // Process-unique odd stamp: threads draw blocks of 2^20 consecutive
+  // values from a shared counter — one uncontended fetch_add per million
+  // stamps, no per-dequeue shared step — so uniqueness holds
+  // unconditionally for the process lifetime (2^62 values total, out of
+  // reach), which is the premise hint rule 1's proof stands on.
+  static std::uint64_t fresh_hint_stamp() {
+    constexpr std::uint64_t kBlock = std::uint64_t{1} << 20;
+    static std::atomic<std::uint64_t> next_block{0};
+    thread_local std::uint64_t cur = 0;
+    thread_local std::uint64_t end = 0;
+    if (cur == end) {
+      cur = next_block.fetch_add(kBlock, std::memory_order_relaxed);
+      end = cur + kBlock;
+    }
+    return (cur++ << 1) | 1;
   }
 
   // Head sentinel: its single mutable field points at the front element.
   Node head_{0, 0, nullptr};
+  // The amortized tail hint (header comment): 0 / Node* (even) / stamp
+  // (odd). Strictly an accelerator — correctness never depends on it
+  // being current, only the three rules above on how it is written/read.
+  std::atomic<std::uint64_t> hint_{0};
 };
+
+using LlxScxQueue = BasicLlxScxQueue<EbrManager>;
 
 }  // namespace llxscx

@@ -30,7 +30,8 @@
 
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 
 namespace llxscx {
 
@@ -51,33 +52,36 @@ struct StackNode : DataRecord<1> {
   const bool bottom;  // empty-stack sentinel, refreshed by pop-to-empty
 };
 
-class LlxScxStack {
+template <class Reclaim = EbrManager>
+class BasicLlxScxStack {
  public:
   using Node = StackNode;
+  using Domain = LlxScxDomain<Reclaim>;
   static constexpr const char* kName = "llxscx-stack";
 
-  LlxScxStack() {
+  BasicLlxScxStack() {
     head_.mut(Node::kNext).store(
-        reinterpret_cast<std::uint64_t>(new Node(Node::BottomTag{})),
+        reinterpret_cast<std::uint64_t>(
+            Domain::template make_record<Node>(Node::BottomTag{})),
         std::memory_order_relaxed);
   }
-  ~LlxScxStack() {
+  ~BasicLlxScxStack() {
     Node* cur = next_of(&head_);
     while (cur != nullptr) {
       Node* next = cur->bottom ? nullptr : next_of(cur);
-      delete cur;
+      Domain::reclaim_now(cur);
       cur = next;
     }
   }
-  LlxScxStack(const LlxScxStack&) = delete;
-  LlxScxStack& operator=(const LlxScxStack&) = delete;
+  BasicLlxScxStack(const BasicLlxScxStack&) = delete;
+  BasicLlxScxStack& operator=(const BasicLlxScxStack&) = delete;
 
   bool push(std::uint64_t key, std::uint64_t value) {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       auto lh = llx(&head_);
       if (!lh.ok()) continue;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lh);
       auto n = op.freshly(key, value, to_node(lh.field(Node::kNext)));
       op.write(&head_, Node::kNext, n);
@@ -87,7 +91,7 @@ class LlxScxStack {
   bool push(std::uint64_t v) { return push(v, v); }
 
   std::optional<std::pair<std::uint64_t, std::uint64_t>> pop() {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (;;) {
       auto lh = llx(&head_);
       if (!lh.ok()) continue;
@@ -100,7 +104,7 @@ class LlxScxStack {
       if (!ls.ok()) continue;
       const std::uint64_t k = top->key;
       const std::uint64_t v = top->value;
-      ScxOp<Node> op;
+      ScxOp<Node, Reclaim> op;
       op.link(lh);
       op.remove(lt);  // top
       op.remove(ls);  // succ: copied, never re-linked (see header)
@@ -122,7 +126,7 @@ class LlxScxStack {
   bool erase(std::uint64_t /*key*/) { return pop().has_value(); }
 
   bool contains(std::uint64_t key) const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     for (const Node* cur = next_of(&head_); !cur->bottom; cur = next_of(cur)) {
       if (cur->key == key) return true;
     }
@@ -130,7 +134,7 @@ class LlxScxStack {
   }
 
   std::size_t size() const {
-    Epoch::Guard g;
+    typename Domain::Guard g;
     std::size_t n = 0;
     for (const Node* cur = next_of(&head_); !cur->bottom; cur = next_of(cur)) {
       ++n;
@@ -151,11 +155,15 @@ class LlxScxStack {
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {
     Stats::count_read();
-    return to_node(n->mut(Node::kNext).load(std::memory_order_seq_cst));
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(Node::kNext).load(mo::acquire));
   }
 
   // Head sentinel: its single mutable field is the top-of-stack pointer.
   Node head_{0, 0, nullptr};
 };
+
+using LlxScxStack = BasicLlxScxStack<EbrManager>;
 
 }  // namespace llxscx

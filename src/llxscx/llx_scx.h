@@ -17,11 +17,18 @@
 // GC edges are made explicit: every SCX-record carries a reference count
 // covering (a) Data-records whose info pointer is installed on it and
 // (b) the info_fields entries of live SCX-records that name it. A
-// descriptor whose count drops to zero is retired through reclaim/epoch.h,
-// which also shields in-flight readers: any pointer loaded from a record's
-// info field while an Epoch::Guard is held stays valid (possibly dead, but
-// never freed) until the guard drops — that is what makes using a
-// displaced descriptor as a freezing-CAS expected value ABA-safe.
+// descriptor whose count drops to zero is retired through the reclamation
+// policy that allocated it (reclaim/record_manager.h); every policy's
+// Guard pins the epoch, which shields in-flight readers: any pointer
+// loaded from a record's info field while a Guard is held stays valid
+// (possibly dead, but never freed) until the guard drops — that is what
+// makes using a displaced descriptor as a freezing-CAS expected value
+// ABA-safe.
+//
+// Memory orders: every access uses the weakest order that preserves the
+// happens-before edge the Fig. 2/Fig. 4 proofs need, named in a comment
+// at each site; -DLLXSCX_RELAXED_ORDERS=0 restores seq_cst everywhere
+// (util/memorder.h) for differential testing.
 //
 // Every shared step is instrumented through util/stats.h so E1/E7 can
 // check the paper's step counts exactly.
@@ -33,12 +40,18 @@
 #include <cstddef>
 #include <cstdint>
 
-#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
 #include "util/stats.h"
 
 namespace llxscx {
 
 class DataRecordBase;
+class ScxRecord;
+
+// Default descriptor retirement (EbrManager path); defined after Epoch is
+// usable so ScxRecord's member initializer can name it.
+void detail_retire_scx_default(ScxRecord* r);
 
 // SCX-record: the operation descriptor (paper Fig. 1). One is allocated per
 // SCX attempt and shared with helpers through the records it freezes.
@@ -55,18 +68,24 @@ class ScxRecord {
   // descriptor already on its way to the epoch limbo list, so a reference
   // can never resurrect one.
   bool try_acquire() {
-    std::uint64_t c = refs_.load(std::memory_order_seq_cst);
+    // relaxed/acq_rel: the count carries no payload — the descriptor's
+    // fields were already published to this thread by the acquire load of
+    // the info field that produced the pointer; the acq_rel CAS keeps the
+    // count's RMW chain intact for release() below.
+    std::uint64_t c = refs_.load(mo::relaxed);
     while (c != 0) {
-      if (refs_.compare_exchange_weak(c, c + 1, std::memory_order_seq_cst)) {
+      if (refs_.compare_exchange_weak(c, c + 1, mo::acq_rel, mo::relaxed)) {
         return true;
       }
     }
     return false;
   }
-  void ref_install() { refs_.fetch_add(1, std::memory_order_seq_cst); }
   void release() {
-    if (refs_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-      Epoch::retire(this);
+    // acq_rel (the shared_ptr edge): release orders this owner's last use
+    // of the descriptor before the decrement; acquire on the final
+    // decrement orders the retirement after every other owner's last use.
+    if (refs_.fetch_sub(1, mo::acq_rel) == 1) {
+      reclaim_retire_(this);
     }
   }
 
@@ -83,12 +102,19 @@ class ScxRecord {
   std::uint64_t new_ = 0;
   std::atomic<int> state_{kInProgress};
   std::atomic<bool> all_frozen_{false};
+  // How a zero-reference descriptor is reclaimed: set (pre-publication) by
+  // the scx() that allocated it, so descriptors from a PoolManager domain
+  // go back to the pool while EBR domains delete. Plain pointer: written
+  // before the first freezing CAS publishes the descriptor.
+  void (*reclaim_retire_)(ScxRecord*) = &detail_retire_scx_default;
 
  private:
   std::atomic<std::uint64_t> refs_{1};  // creator's reference
 
   friend ScxRecord* detail_dummy_scx();
 };
+
+inline void detail_retire_scx_default(ScxRecord* r) { Epoch::retire(r); }
 
 // The initial descriptor every fresh Data-record points at (state Aborted =
 // "unfrozen"). Its reference count starts astronomically high so release()
@@ -136,7 +162,7 @@ class DataRecord : public DataRecordBase {
 // What an LLX leaves behind for a later SCX/VLX: the record and the
 // descriptor witnessed in its info field (the paper's per-process table,
 // made explicit). Plain data — validity is covered by the caller's
-// Epoch::Guard, which must span the LLX and the SCX/VLX that consumes it.
+// Guard, which must span the LLX and the SCX/VLX that consumes it.
 struct LinkedLlx {
   DataRecordBase* rec = nullptr;
   ScxRecord* info = nullptr;
@@ -185,37 +211,80 @@ inline bool detail_help(ScxRecord* u) {
     DataRecordBase* r = u->v_[i];
     ScxRecord* exp = u->info_fields_[i];
     ScxRecord* witnessed = exp;
+    // Count the install edge BEFORE attempting to create it: if the count
+    // could lag a won CAS (helper stalled between the two), every counted
+    // reference could drain meanwhile and retire a descriptor that r's
+    // info field still names — a dangling info pointer for any later LLX,
+    // and a resurrection once the stalled helper resumed. try_acquire
+    // failing means refs_ already hit zero, which implies u is decided
+    // (the creator's reference is held until then): just report the
+    // final state, there is no installing left to do.
+    if (!u->try_acquire()) {
+      return u->state_.load(mo::acquire) == ScxRecord::kCommitted;
+    }
     Stats::count_cas();  // freezing CAS (k of the k+1)
-    if (r->info_.compare_exchange_strong(witnessed, u,
-                                         std::memory_order_seq_cst)) {
-      // We won the install for (u, r): transfer r's install edge.
-      u->ref_install();
+    // acq_rel success: release publishes u's operation fields to any
+    // helper that acquire-loads r.info (the help handshake — transitively
+    // re-publishes them when a helper, not the creator, wins the install).
+    // acquire failure: the no-false-abort edge — a displacing SCX's
+    // install is itself ordered after u's decided state (its LLX
+    // acquire-read that state), so the committer's allFrozen store below
+    // is visible to the all_frozen_ load in this branch.
+    if (r->info_.compare_exchange_strong(witnessed, u, mo::acq_rel,
+                                         mo::acquire)) {
+      // We won the install for (u, r): r's edge transfers from exp to the
+      // reference pre-counted above.
       exp->release();
-    } else if (witnessed != u) {
+    } else if (witnessed == u) {
+      // Another helper already froze r for U: drop the speculative
+      // reference and keep going.
+      u->release();
+    } else {
       // r is frozen for some other SCX. If U already has allFrozen set, a
       // helper finished freezing before r moved on, so U committed.
       Stats::count_read();
-      if (u->all_frozen_.load(std::memory_order_seq_cst)) return true;
+      // acquire: pairs with the committer's release store of all_frozen_
+      // (see the failure-order comment above for why it is visible).
+      if (u->all_frozen_.load(mo::acquire)) {
+        u->release();  // drop the speculative reference
+        return true;
+      }
       Stats::count_write();
-      u->state_.store(ScxRecord::kAborted, std::memory_order_seq_cst);
+      // release: pairs with LLX's acquire state read — a reader that sees
+      // Aborted is ordered after this helper's failed freeze attempt.
+      u->state_.store(ScxRecord::kAborted, mo::release);
+      // Speculative reference dropped only after the last write to u —
+      // if it is the final one, u goes to the limbo list right here.
+      u->release();
       return false;
     }
-    // witnessed == u: another helper already froze r for U; keep going.
   }
   Stats::count_write();
-  u->all_frozen_.store(true, std::memory_order_seq_cst);
+  // release: orders the k winning/witnessed freezing CASes before the flag
+  // — a helper that acquire-reads true may conclude "U committed".
+  u->all_frozen_.store(true, mo::release);
   for (std::size_t i = 0; i < u->k_; ++i) {
     if (u->finalize_mask_ & (1u << i)) {
       Stats::count_write();
-      u->v_[i]->marked_.store(true, std::memory_order_seq_cst);
+      // relaxed: the mark needs no edge of its own — it is ordered before
+      // the Committed state store by that store's release, which is the
+      // edge LLX's marked2 re-read consumes (Fig. 2's finalization gate).
+      u->v_[i]->marked_.store(true, mo::relaxed);
     }
   }
   std::uint64_t expected = u->old_;
   Stats::count_cas();  // update CAS (the +1)
-  u->fld_->compare_exchange_strong(expected, u->new_,
-                                   std::memory_order_seq_cst);
+  // release success: publishes the fresh node's constructor writes before
+  // its address becomes reachable (paired with the acquire traversal loads
+  // in ds/ and LLX's acquire field loads). relaxed failure: a losing
+  // helper learns nothing from fld's value.
+  u->fld_->compare_exchange_strong(expected, u->new_, mo::release,
+                                   mo::relaxed);
   Stats::count_write();
-  u->state_.store(ScxRecord::kCommitted, std::memory_order_seq_cst);
+  // release: orders the R-set mark stores (and the update CAS) before the
+  // state — LLX's acquire read of Committed therefore sees the marks
+  // (the marked2 proof) and traversals that re-read fld see the update.
+  u->state_.store(ScxRecord::kCommitted, mo::release);
   return true;
 }
 
@@ -226,10 +295,10 @@ inline ScxRecord::~ScxRecord() {
 // LLX(r) — paper Fig. 2.
 //
 // Preconditions:
-//   - The caller holds an Epoch::Guard, and keeps holding it (reentrant
-//     nesting is fine) until after any SCX/VLX that consumes the returned
-//     link. The guard is what keeps both r and the witnessed descriptor
-//     alive across that window.
+//   - The caller holds a reclamation Guard, and keeps holding it
+//     (reentrant nesting is fine) until after any SCX/VLX that consumes
+//     the returned link. The guard is what keeps both r and the witnessed
+//     descriptor alive across that window.
 //   - r was reached through the structure under that same guard (root,
 //     or loaded from a field/LLX snapshot of a record so reached). A
 //     pointer cached from before the guard began may already be freed.
@@ -249,9 +318,16 @@ template <std::size_t NumMut>
 LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
   Stats::llx_call();
   Stats::count_read(4);
-  const bool marked1 = r->marked_.load(std::memory_order_seq_cst);
-  ScxRecord* rinfo = r->info_.load(std::memory_order_seq_cst);
-  const int state = rinfo->state_.load(std::memory_order_seq_cst);
+  // acquire: keeps the info/state reads below ordered after this read —
+  // the FINALIZED verdict depends on marked1 preceding the rinfo read.
+  const bool marked1 = r->marked_.load(mo::acquire);
+  // acquire: pairs with the freezing CAS's release install, making the
+  // descriptor's operation fields visible before rinfo is dereferenced.
+  ScxRecord* rinfo = r->info_.load(mo::acquire);
+  // acquire: a Committed read makes the R-set marks visible to marked2
+  // below (they precede the state's release store); it also opens the
+  // snapshot window — the field reads cannot move before it.
+  const int state = rinfo->state_.load(mo::acquire);
   // Paper Fig. 2 reads the mark a SECOND time, after the state read, and
   // gates the snapshot on it. The re-read is load-bearing: Help() writes
   // the R-set marks after allFrozen but before state:=Committed, so a
@@ -260,7 +336,9 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
   // SCX could then re-freeze that finalized record (its info field never
   // changes again) and commit a change hanging off a removed subtree —
   // e.g. double-retiring a node a tree delete already retired.
-  const bool marked2 = r->marked_.load(std::memory_order_seq_cst);
+  // relaxed: ordered after the state read by its acquire; visibility of
+  // the marks comes from the state store's release (previous comment).
+  const bool marked2 = r->marked_.load(mo::relaxed);
 
   if (state == ScxRecord::kAborted ||
       (state == ScxRecord::kCommitted && !marked2)) {
@@ -268,10 +346,19 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
     // confirm no SCX intervened.
     std::array<std::uint64_t, NumMut> f;
     for (std::size_t i = 0; i < NumMut; ++i) {
-      f[i] = r->mut(i).load(std::memory_order_seq_cst);
+      // acquire, twice over: (a) a snapshotted pointer may be dereferenced
+      // by the caller, so the committing SCX's release update-CAS must
+      // publish the pointee's constructor writes to us; (b) each acquire
+      // pins the validating info re-read below AFTER this field read
+      // (seqlock shape: the re-read must close the window, not open it).
+      f[i] = r->mut(i).load(mo::acquire);
     }
     Stats::count_read(NumMut + 1);
-    if (r->info_.load(std::memory_order_seq_cst) == rinfo) {
+    // relaxed: the acquire field loads above keep this re-read last; info
+    // equality over the window proves no freeze (hence no field write)
+    // intervened — descriptor addresses cannot recur under our Guard, so
+    // pointer equality is change-detection, not ABA roulette.
+    if (r->info_.load(mo::relaxed) == rinfo) {
       return LlxResult<NumMut>::ok(
           f, LinkedLlx{const_cast<DataRecord<NumMut>*>(r), rinfo});
     }
@@ -291,9 +378,11 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
   }
   if (committed && marked1) return LlxResult<NumMut>::finalized();
 
-  ScxRecord* cur = r->info_.load(std::memory_order_seq_cst);
+  // acquire ×2: same install/decide edges as above — the helper must see
+  // the current freezer's operation fields before running Help on it.
+  ScxRecord* cur = r->info_.load(mo::acquire);
   Stats::count_read(2);
-  if (cur->state_.load(std::memory_order_seq_cst) == ScxRecord::kInProgress) {
+  if (cur->state_.load(mo::acquire) == ScxRecord::kInProgress) {
     Stats::helped();
     detail_help(cur);
   }
@@ -306,9 +395,13 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
 // finalizes the records selected by `finalize_mask`. A false return wrote
 // nothing (any freezes it won were undone by helpers observing the abort).
 //
+// The Reclaim policy supplies the descriptor's storage and its eventual
+// retirement path (reclaim/record_manager.h); EbrManager reproduces the
+// seed's new/epoch-delete behavior exactly.
+//
 // Preconditions (the paper's §3 constraints plus this repo's memory rules):
 //   - v[0..k) are links from THIS thread's LLXs, all taken and still
-//     covered by the current Epoch::Guard.
+//     covered by the current Guard.
 //   - fld is a mutable field of some record in V, and `old_val` is that
 //     field's value FROM THE LLX SNAPSHOT — not from a later plain read.
 //     (SCX success is defined by V-set stability; if old_val is stale the
@@ -320,12 +413,16 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
 //   - Records in R stay permanently frozen; only the committing thread
 //     may retire them (plus nodes made unreachable by the commit), via
 //     retire_record, after scx returns true.
-inline bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
-                std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
-                std::uint64_t new_val) {
+template <class Reclaim = EbrManager>
+bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
+         std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
+         std::uint64_t new_val) {
   assert(k >= 1 && k <= ScxRecord::kMaxV);
   Stats::scx_call();
-  auto* u = new ScxRecord;
+  ScxRecord* u = Reclaim::template alloc_desc<ScxRecord>();
+  u->reclaim_retire_ = [](ScxRecord* d) {
+    Reclaim::template retire_desc<ScxRecord>(d);
+  };
   u->k_ = k;
   u->finalize_mask_ = finalize_mask;
   u->fld_ = fld;
@@ -337,10 +434,10 @@ inline bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
     if (!v[i].info->try_acquire()) {
       // v[i].info already hit zero references, so v[i].rec has been
       // re-frozen since the LLX: this SCX must fail. u was never
-      // published, so it can be destroyed in place (releasing the
+      // published, so it can be reclaimed in place (releasing the
       // references acquired so far).
       u->acquired_ = i;
-      delete u;
+      Reclaim::template dealloc_desc<ScxRecord>(u);
       Stats::scx_failed();
       return false;
     }
@@ -354,27 +451,77 @@ inline bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
 
 // VLX(V) — k shared reads (claim C-C): each record is unchanged since its
 // LLX iff its info field still names the linked descriptor. Same
-// preconditions as scx(): same-thread links, one continuous Epoch::Guard.
+// preconditions as scx(): same-thread links, one continuous Guard.
 inline bool vlx(const LinkedLlx* v, std::size_t k) {
   for (std::size_t i = 0; i < k; ++i) {
     Stats::count_read();
-    if (v[i].rec->info_.load(std::memory_order_seq_cst) != v[i].info) {
+    // acquire: an unchanged verdict may be acted on by dereferencing the
+    // snapshot, so it must carry the same install edge as LLX's info
+    // loads. (Reordering among the k loads is harmless: "unchanged" is
+    // monotone — once an info field moves on it never returns — so every
+    // load certifying [llx_i, read_i] certifies the earliest read time.)
+    if (v[i].rec->info_.load(mo::acquire) != v[i].info) {
       return false;
     }
   }
   return true;
 }
 
-// Retire a removed Data-record through epoch reclamation. Call exactly
-// once, from the thread whose committed SCX removed it — either a record
-// in that SCX's R-set, or one made unreachable by the commit (the trees'
-// removed leaf). Exactly-once is the structure's obligation: the SCX
-// shapes must guarantee no two committed operations remove the same node
-// (every conflicting pair shares a V-record that the first commit
-// freezes or finalizes).
+// Retire a removed Data-record through epoch reclamation (the EbrManager
+// path; policy-parameterized callers go through LlxScxDomain/ScxOp).
+// Call exactly once, from the thread whose committed SCX removed it —
+// either a record in that SCX's R-set, or one made unreachable by the
+// commit (the trees' removed leaf). Exactly-once is the structure's
+// obligation: the SCX shapes must guarantee no two committed operations
+// remove the same node (every conflicting pair shares a V-record that the
+// first commit freezes or finalizes).
 template <typename T>
 void retire_record(T* r) {
   Epoch::retire(r);
 }
+
+// LlxScxDomain<Reclaim> — the primitives bound to one reclamation policy
+// (the tentpole seam: structures and the ScxOp builder go through this,
+// so swapping EbrManager/LeakyManager/PoolManager touches no structure
+// code). The llx/scx/vlx algorithms are policy-independent; what the
+// domain routes is every allocation and every retirement: Data-records
+// via make_record/retire_record/reclaim_now, descriptors inside scx().
+template <class Reclaim = EbrManager>
+struct LlxScxDomain {
+  static_assert(RecordManager<Reclaim>);
+  using ReclaimPolicy = Reclaim;
+  using Guard = typename Reclaim::Guard;
+
+  template <class Node, class... Args>
+  static Node* make_record(Args&&... args) {
+    return Reclaim::template alloc<Node>(std::forward<Args>(args)...);
+  }
+  // Grace-period retirement of a node a committed SCX removed (same
+  // exactly-once obligation as the free function above).
+  template <class Node>
+  static void retire_record(Node* r) {
+    Reclaim::template retire<Node>(r);
+  }
+  // Immediate reclamation of a node that was never published (aborted
+  // fresh allocations, quiescent teardown).
+  template <class Node>
+  static void reclaim_now(Node* r) {
+    Reclaim::template dealloc<Node>(r);
+  }
+
+  template <std::size_t NumMut>
+  static LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
+    return llxscx::llx(r);
+  }
+  static bool scx(const LinkedLlx* v, std::size_t k,
+                  std::uint32_t finalize_mask,
+                  std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
+                  std::uint64_t new_val) {
+    return llxscx::scx<Reclaim>(v, k, finalize_mask, fld, old_val, new_val);
+  }
+  static bool vlx(const LinkedLlx* v, std::size_t k) {
+    return llxscx::vlx(v, k);
+  }
+};
 
 }  // namespace llxscx

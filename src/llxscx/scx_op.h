@@ -98,22 +98,26 @@ class Fresh {
   explicit Fresh(NodeT* p) : p_(p) {}
   NodeT* p_;
 
-  template <typename>
+  template <typename, class>
   friend class ScxOp;
 };
 
-// One SCX operation over records of a single node type. Stack-allocated,
-// one per attempt (retry loops construct a new one per iteration); never
-// shared between threads. `reclaim = false` skips commit-time retirement
-// (the Leaky multiset variant for the E8 ablation).
-template <typename NodeT>
+// One SCX operation over records of a single node type, bound to a
+// reclamation policy (reclaim/record_manager.h). Stack-allocated, one per
+// attempt (retry loops construct a new one per iteration); never shared
+// between threads. The policy decides where freshly() nodes come from and
+// what commit-time retirement does — EbrManager is the default, the
+// LeakyManager instantiation is E8's no-free ablation (what used to be a
+// hand-copied Leaky multiset), PoolManager recycles per-thread.
+template <typename NodeT, class Reclaim = EbrManager>
 class ScxOp {
  public:
+  using Domain = LlxScxDomain<Reclaim>;
   static constexpr std::size_t kMut = NodeT::kNumMut;
   static constexpr std::size_t kMaxFresh = 8;
   static constexpr std::size_t kMaxOrphans = 4;
 
-  explicit ScxOp(bool reclaim = true) : reclaim_(reclaim) {}
+  ScxOp() = default;
   ~ScxOp() {
     // An op dropped without commit() (a later LLX failed, or validate-only
     // use) aborts: nothing was published, so the fresh nodes die with it.
@@ -143,7 +147,7 @@ class ScxOp {
       misuse(kScxOpTooManyFresh);
       return Fresh<NodeT>(nullptr);
     }
-    NodeT* n = new NodeT(std::forward<Args>(args)...);
+    NodeT* n = Domain::template make_record<NodeT>(std::forward<Args>(args)...);
     fresh_[nfresh_++] = n;
     return Fresh<NodeT>(n);
   }
@@ -199,17 +203,15 @@ class ScxOp {
       delete_fresh();
       return false;
     }
-    const bool ok = scx(v_, k_, fmask_, fld_, old_, new_);
+    const bool ok = Domain::scx(v_, k_, fmask_, fld_, old_, new_);
     if (!ok) {
       delete_fresh();
       return false;
     }
-    if (reclaim_) {
-      for (std::size_t i = 0; i < k_; ++i) {
-        if (fmask_ & (1u << i)) retire_record(recs_[i]);
-      }
-      for (std::size_t i = 0; i < norphan_; ++i) retire_record(orphans_[i]);
+    for (std::size_t i = 0; i < k_; ++i) {
+      if (fmask_ & (1u << i)) Domain::retire_record(recs_[i]);
     }
+    for (std::size_t i = 0; i < norphan_; ++i) Domain::retire_record(orphans_[i]);
     return true;
   }
 
@@ -259,8 +261,9 @@ class ScxOp {
   void delete_fresh() {
     // Reverse order: later fresh nodes may point at earlier ones, but
     // nodes own nothing, so either order is safe; reverse mirrors
-    // construction for readability.
-    while (nfresh_ > 0) delete fresh_[--nfresh_];
+    // construction for readability. reclaim_now: these were never
+    // published, so the policy owes them no grace period.
+    while (nfresh_ > 0) Domain::reclaim_now(fresh_[--nfresh_]);
   }
 
   void misuse(const char* what) {
@@ -288,7 +291,6 @@ class ScxOp {
   std::atomic<std::uint64_t>* fld_ = nullptr;
   std::uint64_t old_ = 0;
   std::uint64_t new_ = 0;
-  const bool reclaim_;
   bool done_ = false;
   bool poisoned_ = false;
 };

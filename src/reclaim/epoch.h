@@ -52,6 +52,16 @@ class Epoch {
       if (h.depth++ == 0) {
         h.rec->reservation.store(state().global.load(std::memory_order_seq_cst),
                                  std::memory_order_seq_cst);
+        // Deliberately seq_cst and NOT behind LLXSCX_RELAXED_ORDERS: the
+        // reservation publication needs a StoreLoad edge against the
+        // scanner's reservation read, and the structure traversals this
+        // guard protects use acquire loads — a seq_cst STORE alone does
+        // not order a later plain acquire load after it (on RCpc
+        // hardware, e.g. AArch64 LDAPR, the load can be satisfied before
+        // the store is visible, letting the scanner miss the reservation
+        // and free what the traversal reads). The full fence is what
+        // pins every subsequent load after the publication.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
       }
     }
     ~Guard() {

@@ -1,0 +1,310 @@
+// RecordManager — the reclamation policy layer (DESIGN.md §10).
+//
+// The paper's primitives are agnostic about how retired Data-records are
+// reclaimed ("in other languages, such as C++, memory management is an
+// issue", §6). The seed hard-wired epoch reclamation into the primitives
+// and every structure; this header separates MECHANISM (reclaim/epoch.h:
+// guards, limbo lists, grace periods) from POLICY (what alloc/retire/free
+// actually do), so structures are written once against the policy concept
+// and reclamation experiments swap a template parameter.
+//
+// A RecordManager provides:
+//
+//   M::Guard            RAII read reservation. Every manager here uses
+//                       Epoch::Guard — even the leaky one — because SCX
+//                       descriptors are always epoch-reclaimed and helpers
+//                       dereference them under the same guard.
+//   M::alloc<T>(args…)  construct a T (policy decides where the bytes
+//                       come from).
+//   M::retire(T*)       hand over a node the caller just made unreachable
+//                       from the structure's roots. Exactly-once is the
+//                       caller's obligation (the ScxOp builder provides
+//                       it); WHEN (and whether) the destructor runs is the
+//                       policy's.
+//   M::dealloc(T*)      destroy a node that was NEVER published (an
+//                       aborted op's fresh allocation, or quiescent
+//                       teardown): no grace period needed.
+//   M::alloc_desc<T> /  the same three verbs for SCX descriptors. Split
+//   M::retire_desc /    out because descriptor reclamation must ALWAYS be
+//   M::dealloc_desc     grace-safe and eventual — helpers dereference
+//                       descriptors under guards, and the refcount edges
+//                       (DESIGN.md §2) assume a dead descriptor is
+//                       eventually destroyed. A policy may redirect their
+//                       storage (PoolManager recycles them) but never
+//                       drop them: LeakyManager's "never free" semantics
+//                       apply to Data-records only, which is what the E8
+//                       ablation is about.
+//   M::drain()          test/teardown: reclaim everything reclaimable.
+//   M::stats()          this thread's ReclaimStats (plain thread-local
+//                       counters — no shared steps, so policy accounting
+//                       never perturbs the pinned SCX step shapes).
+//
+// The contract a policy must honor for the LLX/SCX proofs to survive is
+// written out in DESIGN.md §10; the short form: an address handed to
+// retire() must not be handed out by alloc() again while any thread that
+// could still reach the old node holds a Guard taken before the retire.
+// EbrManager and PoolManager get this from the epoch grace period;
+// LeakyManager gets it vacuously (retired addresses never recur at all).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "reclaim/epoch.h"
+
+namespace llxscx {
+
+// Per-thread policy counters (always on: thread-local increments cost
+// nothing shared and the pool-reuse tests read them in every build mode).
+struct ReclaimStats {
+  std::uint64_t allocs = 0;     // nodes constructed through the policy
+  std::uint64_t pool_hits = 0;  // allocs served from a per-thread free list
+  std::uint64_t retires = 0;    // nodes handed to retire()
+  std::uint64_t deallocs = 0;   // unpublished nodes freed via dealloc()
+  std::uint64_t leaked = 0;     // retires dropped on the floor (LeakyManager)
+
+  ReclaimStats& operator+=(const ReclaimStats& o) {
+    allocs += o.allocs;
+    pool_hits += o.pool_hits;
+    retires += o.retires;
+    deallocs += o.deallocs;
+    leaked += o.leaked;
+    return *this;
+  }
+  ReclaimStats operator-(const ReclaimStats& o) const {
+    ReclaimStats r = *this;
+    r.allocs -= o.allocs;
+    r.pool_hits -= o.pool_hits;
+    r.retires -= o.retires;
+    r.deallocs -= o.deallocs;
+    r.leaked -= o.leaked;
+    return r;
+  }
+};
+
+// The compile-time face of the contract. alloc/retire/dealloc are member
+// templates, so the concept probes them with a concrete stand-in type.
+template <class M>
+concept RecordManager = requires(int* p) {
+  typename M::Guard;
+  { M::kName } -> std::convertible_to<const char*>;
+  { M::template alloc<int>(0) } -> std::same_as<int*>;
+  { M::template retire<int>(p) };
+  { M::template dealloc<int>(p) };
+  { M::template alloc_desc<int>(0) } -> std::same_as<int*>;
+  { M::template retire_desc<int>(p) };
+  { M::template dealloc_desc<int>(p) };
+  { M::drain() };
+  { M::stats() } -> std::same_as<ReclaimStats&>;
+};
+
+// --- EbrManager: the default — plain new/delete under epoch grace -------
+//
+// Exactly the seed behavior, factored behind the concept: retire defers
+// the delete until every guard that could reach the node has dropped.
+struct EbrManager {
+  static constexpr const char* kName = "ebr";
+  using Guard = Epoch::Guard;
+
+  template <class T, class... Args>
+  static T* alloc(Args&&... args) {
+    ++stats().allocs;
+    return new T(std::forward<Args>(args)...);
+  }
+
+  template <class T>
+  static void retire(T* p) {
+    ++stats().retires;
+    Epoch::retire(p);
+  }
+
+  template <class T>
+  static void dealloc(T* p) {
+    ++stats().deallocs;
+    delete p;
+  }
+
+  // Descriptors take the identical path.
+  template <class T, class... Args>
+  static T* alloc_desc(Args&&... args) {
+    return alloc<T>(std::forward<Args>(args)...);
+  }
+  template <class T>
+  static void retire_desc(T* p) {
+    retire(p);
+  }
+  template <class T>
+  static void dealloc_desc(T* p) {
+    dealloc(p);
+  }
+
+  static void drain() { Epoch::drain_all_for_testing(); }
+
+  static ReclaimStats& stats() {
+    thread_local ReclaimStats s;
+    return s;
+  }
+};
+
+// --- LeakyManager: the no-free baseline (E8's ablation) -----------------
+//
+// retire() drops the node on the floor, so a long-running process grows
+// without bound — the point of the ablation is to measure what that buys.
+// The §3 usage assumption (a retired address never re-enters a mutable
+// field) holds trivially: leaked addresses are never recycled. Guards are
+// still epoch guards because descriptors (and the helpers reading them)
+// remain epoch-reclaimed regardless of the node policy.
+struct LeakyManager {
+  static constexpr const char* kName = "leaky";
+  using Guard = Epoch::Guard;
+
+  template <class T, class... Args>
+  static T* alloc(Args&&... args) {
+    ++stats().allocs;
+    return new T(std::forward<Args>(args)...);
+  }
+
+  template <class T>
+  static void retire(T*) {
+    ++stats().retires;
+    ++stats().leaked;  // deliberately never freed
+  }
+
+  template <class T>
+  static void dealloc(T* p) {
+    // Never published, so the leak rationale does not apply: free it.
+    ++stats().deallocs;
+    delete p;
+  }
+
+  // Descriptors must NOT leak (interface comment above): the ablation
+  // withholds reclamation from Data-records only, so descriptors keep the
+  // default epoch path — which is what lets E8 show leaked nodes pinning
+  // their final descriptors transitively.
+  template <class T, class... Args>
+  static T* alloc_desc(Args&&... args) {
+    ++stats().allocs;
+    return new T(std::forward<Args>(args)...);
+  }
+  template <class T>
+  static void retire_desc(T* p) {
+    ++stats().retires;
+    Epoch::retire(p);
+  }
+  template <class T>
+  static void dealloc_desc(T* p) {
+    ++stats().deallocs;
+    delete p;
+  }
+
+  static void drain() { Epoch::drain_all_for_testing(); }
+
+  static ReclaimStats& stats() {
+    thread_local ReclaimStats s;
+    return s;
+  }
+};
+
+// --- PoolManager: per-thread free-list reuse on top of EBR --------------
+//
+// The throughput candidate: retired nodes still wait out the epoch grace
+// period (address stability is what the LLX/SCX proofs consume), but when
+// the grace period elapses the storage goes to a per-thread, per-type
+// free list instead of the allocator, and alloc() placement-news into a
+// recycled block when one is available. Node churn (every SCX replaces
+// nodes by design) then stops paying malloc/free on the steady state.
+//
+// The reuse is exactly as safe as delete-then-malloc reuse: a block only
+// reaches the pool after the same grace period that would have preceded
+// its free, so an address can re-enter a mutable field no earlier than it
+// could under EbrManager.
+struct PoolManager {
+  static constexpr const char* kName = "pool";
+  using Guard = Epoch::Guard;
+
+  template <class T, class... Args>
+  static T* alloc(Args&&... args) {
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "pooled blocks use default operator new alignment");
+    ++stats().allocs;
+    FreeList& fl = free_list<T>();
+    void* block;
+    if (!fl.blocks.empty()) {
+      block = fl.blocks.back();
+      fl.blocks.pop_back();
+      ++stats().pool_hits;
+    } else {
+      block = ::operator new(sizeof(T));
+    }
+    return ::new (block) T(std::forward<Args>(args)...);
+  }
+
+  template <class T>
+  static void retire(T* p) {
+    ++stats().retires;
+    // Grace first, pool after: the deleter runs on the SCANNING thread
+    // once no pre-retire guard survives, destroys the node, and banks the
+    // storage in that thread's pool (per-thread lists, so no lock).
+    Epoch::retire_raw(p, [](void* q) {
+      T* t = static_cast<T*>(q);
+      t->~T();
+      free_list<T>().blocks.push_back(q);
+    });
+  }
+
+  template <class T>
+  static void dealloc(T* p) {
+    // Never published: no grace period owed; recycle immediately.
+    ++stats().deallocs;
+    p->~T();
+    free_list<T>().blocks.push_back(p);
+  }
+
+  // Descriptors are recycled exactly like nodes — still grace-safe, so
+  // the interface's "never drop a descriptor" rule holds.
+  template <class T, class... Args>
+  static T* alloc_desc(Args&&... args) {
+    return alloc<T>(std::forward<Args>(args)...);
+  }
+  template <class T>
+  static void retire_desc(T* p) {
+    retire(p);
+  }
+  template <class T>
+  static void dealloc_desc(T* p) {
+    dealloc(p);
+  }
+
+  static void drain() { Epoch::drain_all_for_testing(); }
+
+  static ReclaimStats& stats() {
+    thread_local ReclaimStats s;
+    return s;
+  }
+
+ private:
+  // Raw storage blocks of sizeof(T); freed for real at thread exit so the
+  // pool never shows up as a leak.
+  struct FreeList {
+    std::vector<void*> blocks;
+    ~FreeList() {
+      for (void* b : blocks) ::operator delete(b);
+    }
+  };
+
+  template <class T>
+  static FreeList& free_list() {
+    thread_local FreeList fl;
+    return fl;
+  }
+};
+
+static_assert(RecordManager<EbrManager>);
+static_assert(RecordManager<LeakyManager>);
+static_assert(RecordManager<PoolManager>);
+
+}  // namespace llxscx

@@ -19,7 +19,38 @@
 #include "util/barrier.h"
 #include "util/random.h"
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LLXSCX_TEST_HAS_LSAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define LLXSCX_TEST_HAS_LSAN 1
+#endif
+#ifdef LLXSCX_TEST_HAS_LSAN
+#include <sanitizer/lsan_interface.h>
+#endif
+
 namespace llxscx::testing {
+
+// The LeakyManager drops retired nodes by design (the E8 ablation). Tests
+// that exercise it wrap the structure's lifetime in this guard so LSan
+// attributes the deliberate leak to the policy instead of failing the
+// run; outside ASan builds it is a no-op.
+class ScopedExpectedLeak {
+ public:
+  ScopedExpectedLeak() {
+#ifdef LLXSCX_TEST_HAS_LSAN
+    __lsan_disable();
+#endif
+  }
+  ~ScopedExpectedLeak() {
+#ifdef LLXSCX_TEST_HAS_LSAN
+    __lsan_enable();
+#endif
+  }
+  ScopedExpectedLeak(const ScopedExpectedLeak&) = delete;
+  ScopedExpectedLeak& operator=(const ScopedExpectedLeak&) = delete;
+};
 
 // Stress-phase duration: follows LLXSCX_BENCH_MS (like the bench harness)
 // so the sanitizer CI jobs can downscale, defaulting to 2 s.

@@ -156,7 +156,11 @@ TEST(Queue, FifoSemanticsThroughUnifiedInterface) {
 // f=1 ⇒ 3 writes, 3 allocs (node + fresh tail + SCX-record); dequeue is
 // SCX(V=⟨head,first⟩, R=⟨first⟩) with the successor HANDED OFF, not
 // copied — k=2 ⇒ 3 CAS, f=1 ⇒ 3 writes, and only the SCX-record is
-// allocated.
+// allocated. On top of the SCX, the tail hint costs enqueue exactly one
+// publish CAS and dequeue exactly one invalidation write — pinned here so
+// the hint can never silently grow the shapes; the SCX itself staying
+// k=2 is pinned by the llx count (2 = the V-set) and the 3-CAS/3-write
+// SCX core inside the totals.
 TEST(Queue, EnqueueDequeueScxShapesArePinned) {
   if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
   LlxScxQueue q;
@@ -164,11 +168,11 @@ TEST(Queue, EnqueueDequeueScxShapesArePinned) {
   ASSERT_TRUE(q.enqueue(2, 20));
 
   StepCounts d = steps_of([&] { ASSERT_TRUE(q.enqueue(3, 30)); });
-  EXPECT_EQ(d.llx_calls, 2u);
+  EXPECT_EQ(d.llx_calls, 2u) << "enqueue stays k=2: hint LLX doubles as V[0]";
   EXPECT_EQ(d.llx_fail, 0u);
   EXPECT_EQ(d.scx_calls, 1u);
   EXPECT_EQ(d.scx_fail, 0u);
-  EXPECT_EQ(d.cas, 3u) << "enqueue: k+1 CAS with k=2";
+  EXPECT_EQ(d.cas, 4u) << "enqueue: k+1 CAS with k=2, + 1 hint-publish CAS";
   EXPECT_EQ(d.shared_writes, 3u) << "enqueue: f+2 writes with f=1";
   EXPECT_EQ(d.allocations, 3u) << "node + fresh tail + SCX-record";
 
@@ -177,8 +181,37 @@ TEST(Queue, EnqueueDequeueScxShapesArePinned) {
   EXPECT_EQ(d.scx_calls, 1u);
   EXPECT_EQ(d.scx_fail, 0u);
   EXPECT_EQ(d.cas, 3u) << "dequeue: k+1 CAS with k=2";
-  EXPECT_EQ(d.shared_writes, 3u) << "dequeue: f+2 writes with f=1";
+  EXPECT_EQ(d.shared_writes, 4u)
+      << "dequeue: f+2 writes with f=1, + 1 hint-invalidate write";
   EXPECT_EQ(d.allocations, 1u) << "handoff: only the SCX-record";
+  Epoch::drain_all_for_testing();
+}
+
+// The ROADMAP O(length)-enqueue item: with the tail hint warm, an enqueue
+// into a LONG queue must not walk the list — its shared-read cost stays
+// constant (hint load + two LLXes) instead of O(length), while the SCX
+// stays the same k=2 shape. And once a dequeue stamps the hint out, the
+// next enqueue falls back to the full walk and still commits.
+TEST(Queue, TailHintMakesLongQueueEnqueueConstant) {
+  if (!kStepCounting) GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  constexpr std::uint64_t kLen = 512;
+  LlxScxQueue q;
+  for (std::uint64_t i = 1; i <= kLen; ++i) ASSERT_TRUE(q.enqueue(i, i));
+
+  StepCounts d = steps_of([&] { ASSERT_TRUE(q.enqueue(kLen + 1, 0)); });
+  EXPECT_EQ(d.llx_calls, 2u) << "hint hit: k=2, no extra validation LLX";
+  EXPECT_EQ(d.cas, 4u) << "3 SCX CAS + 1 hint publish";
+  EXPECT_LT(d.shared_reads, 20u)
+      << "a warm hint must keep enqueue O(1); " << kLen
+      << " elements would cost O(length) reads on the fallback walk";
+
+  // Stamp the hint out via a dequeue; the fallback walk now pays
+  // O(length) reads but must still produce a correct k=2 commit.
+  ASSERT_TRUE(q.dequeue().has_value());
+  d = steps_of([&] { ASSERT_TRUE(q.enqueue(kLen + 2, 0)); });
+  EXPECT_EQ(d.scx_fail, 0u);
+  EXPECT_GT(d.shared_reads, kLen) << "stamped hint ⇒ full walk from head";
+  EXPECT_EQ(q.size(), kLen + 1);
   Epoch::drain_all_for_testing();
 }
 

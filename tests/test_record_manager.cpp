@@ -1,0 +1,269 @@
+// RecordManager policy conformance (DESIGN.md §10): the three managers
+// (EbrManager / LeakyManager / PoolManager) against the contract every
+// structure relies on — alloc constructs, dealloc destroys immediately,
+// retire destroys exactly once after a drain (or never, for the leaky
+// policy, whose drop is itself pinned), pooled storage is observably
+// reused — plus the structure stresses re-instantiated with PoolManager,
+// so node recycling runs under real SCX helping/contention (TSAN and
+// ASAN ride along via the sanitizer CI jobs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "ds/multiset_llxscx.h"
+#include "ds/queue_llxscx.h"
+#include "reclaim/record_manager.h"
+#include "util/random.h"
+
+#include "tests/test_common.h"
+
+namespace llxscx {
+namespace {
+
+struct Payload {
+  static std::atomic<int> live;       // constructed minus destroyed
+  static std::atomic<int> destroyed;  // destructor runs (exactly-once net)
+
+  explicit Payload(int v = 0) : value(v) { live.fetch_add(1); }
+  ~Payload() {
+    live.fetch_sub(1);
+    destroyed.fetch_add(1);
+  }
+  int value;
+};
+std::atomic<int> Payload::live{0};
+std::atomic<int> Payload::destroyed{0};
+
+// LeakyManager drops retired payloads by design; parking them here keeps
+// them reachable so the leak is the policy's documented behavior, not a
+// sanitizer finding.
+std::vector<Payload*>& leak_park() {
+  static auto* v = new std::vector<Payload*>;
+  return *v;
+}
+
+template <typename M>
+class RecordManagerConformance : public ::testing::Test {};
+using Managers = ::testing::Types<EbrManager, LeakyManager, PoolManager>;
+TYPED_TEST_SUITE(RecordManagerConformance, Managers);
+
+TYPED_TEST(RecordManagerConformance, SatisfiesConcept) {
+  static_assert(RecordManager<TypeParam>);
+  EXPECT_STRNE(TypeParam::kName, "");
+}
+
+TYPED_TEST(RecordManagerConformance, AllocConstructsDeallocDestroysNow) {
+  const ReclaimStats before = TypeParam::stats();
+  const int live0 = Payload::live.load();
+  Payload* p = TypeParam::template alloc<Payload>(7);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, 7);
+  EXPECT_EQ(Payload::live.load(), live0 + 1);
+  TypeParam::template dealloc<Payload>(p);
+  EXPECT_EQ(Payload::live.load(), live0) << "dealloc owes no grace period";
+  const ReclaimStats d = TypeParam::stats() - before;
+  EXPECT_EQ(d.allocs, 1u);
+  EXPECT_EQ(d.deallocs, 1u);
+}
+
+TYPED_TEST(RecordManagerConformance, RetireDestroysExactlyOnceAfterDrain) {
+  constexpr int kN = 100;
+  TypeParam::drain();
+  const int live0 = Payload::live.load();
+  const int destroyed0 = Payload::destroyed.load();
+  for (int i = 0; i < kN; ++i) {
+    Payload* p = TypeParam::template alloc<Payload>(i);
+    if constexpr (std::is_same_v<TypeParam, LeakyManager>) {
+      leak_park().push_back(p);
+    }
+    TypeParam::template retire<Payload>(p);
+  }
+  TypeParam::drain();
+  TypeParam::drain();  // a second drain must not double-destroy
+  if constexpr (std::is_same_v<TypeParam, LeakyManager>) {
+    EXPECT_EQ(Payload::destroyed.load(), destroyed0)
+        << "the leaky policy never runs destructors on retired nodes";
+    EXPECT_EQ(Payload::live.load(), live0 + kN);
+  } else {
+    EXPECT_EQ(Payload::destroyed.load(), destroyed0 + kN)
+        << "every retired node destroyed exactly once";
+    EXPECT_EQ(Payload::live.load(), live0);
+    EXPECT_EQ(Epoch::outstanding(), 0u) << "drain-to-zero";
+  }
+}
+
+// A retire under a live guard must not destroy before the guard drops —
+// the grace property every structure's traversals lean on. (Leaky holds
+// it vacuously; asserting it for all three keeps the contract uniform.)
+TYPED_TEST(RecordManagerConformance, NoDestructionUnderLiveGuard) {
+  TypeParam::drain();
+  const int live0 = Payload::live.load();
+  {
+    typename TypeParam::Guard g;
+    Payload* p = TypeParam::template alloc<Payload>(1);
+    if constexpr (std::is_same_v<TypeParam, LeakyManager>) {
+      leak_park().push_back(p);
+    }
+    TypeParam::template retire<Payload>(p);
+    // Churn enough retires to cross the epoch scan period several times:
+    // our own guard must still hold p's destruction back.
+    for (int i = 0; i < 1000; ++i) {
+      Payload* q = TypeParam::template alloc<Payload>(i);
+      if constexpr (std::is_same_v<TypeParam, LeakyManager>) {
+        leak_park().push_back(q);
+      }
+      TypeParam::template retire<Payload>(q);
+    }
+    EXPECT_EQ(Payload::live.load(), live0 + 1001)
+        << "nothing may be destroyed while this guard is live";
+  }
+  TypeParam::drain();
+  if constexpr (!std::is_same_v<TypeParam, LeakyManager>) {
+    EXPECT_EQ(Payload::live.load(), live0);
+  }
+}
+
+// Pool-specific: after a retire drains, the storage is handed back by the
+// next alloc of the same type — observable both through the stats and as
+// literal address reuse (per-thread LIFO free list ⇒ same block).
+TEST(PoolManager, RetiredStorageIsReused) {
+  struct PoolProbe {
+    explicit PoolProbe(int v) : value(v) {}
+    int value;
+  };
+  PoolManager::drain();
+  const ReclaimStats before = PoolManager::stats();
+  PoolProbe* first = PoolManager::alloc<PoolProbe>(1);
+  const void* first_addr = first;
+  PoolManager::retire(first);
+  PoolManager::drain();  // grace elapses; block lands in THIS thread's pool
+  PoolProbe* second = PoolManager::alloc<PoolProbe>(2);
+  EXPECT_EQ(static_cast<const void*>(second), first_addr)
+      << "LIFO per-thread pool must hand the drained block straight back";
+  EXPECT_EQ(second->value, 2) << "placement-new re-ran the constructor";
+  const ReclaimStats d = PoolManager::stats() - before;
+  EXPECT_EQ(d.allocs, 2u);
+  EXPECT_EQ(d.pool_hits, 1u) << "exactly the second alloc hit the pool";
+  PoolManager::dealloc(second);
+}
+
+// An unpublished node (the ScxOp abort path) is recycled immediately —
+// no drain needed for the pool to serve it back.
+TEST(PoolManager, DeallocRecyclesWithoutGrace) {
+  struct AbortProbe {
+    int x = 0;
+  };
+  const ReclaimStats before = PoolManager::stats();
+  AbortProbe* p = PoolManager::alloc<AbortProbe>();
+  const void* addr = p;
+  PoolManager::dealloc(p);
+  AbortProbe* q = PoolManager::alloc<AbortProbe>();
+  EXPECT_EQ(static_cast<const void*>(q), addr);
+  const ReclaimStats d = PoolManager::stats() - before;
+  EXPECT_EQ(d.pool_hits, 1u);
+  PoolManager::dealloc(q);
+}
+
+// --- Structure stresses re-instantiated with PoolManager -----------------
+//
+// The conformance suite above exercises the policy in isolation; these
+// run it under real SCX helping: recycled addresses flow back into live
+// structures while other threads hold guards into the old incarnations —
+// exactly the reuse the grace period must make invisible.
+
+TEST(PoolManagerStress, MultisetMatchesLockedOracleUnderContention) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kHotKeys = 8;
+  constexpr std::uint64_t kKeySpace = 128;
+
+  BasicLlxScxMultiset<PoolManager> ms;
+  testing::KeyedOracle oracle;
+
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 7000,
+      [&](int, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        testing::KeyedOracle::Recorder rec(oracle);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key =
+              testing::skewed_key(rng, kHotKeys, kKeySpace);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 40) {
+            if (ms.insert(key, 1)) rec.add(key, 1);
+          } else if (dice < 80) {
+            const std::uint64_t removed = ms.erase(key, 1);
+            if (removed != 0) {
+              rec.add(key, -static_cast<std::int64_t>(removed));
+            }
+          } else {
+            ms.get(key);
+          }
+          ++ops;
+        }
+        return ops;
+      });
+
+  for (std::uint64_t key = 1; key <= kKeySpace; ++key) {
+    const std::int64_t net = oracle.net(key);
+    ASSERT_GE(net, 0) << "oracle accounting bug at " << key;
+    EXPECT_EQ(ms.get(key), static_cast<std::uint64_t>(net))
+        << "divergence at key " << key;
+  }
+  EXPECT_GT(total_ops, 0u);
+  PoolManager::drain();
+  EXPECT_EQ(Epoch::outstanding(), 0u)
+      << "pooled retires must still drain the epoch to zero";
+}
+
+TEST(PoolManagerStress, QueueConservesValuesWithTailHint) {
+  constexpr int kThreads = 4;
+  BasicLlxScxQueue<PoolManager> q;
+  std::vector<std::vector<std::uint64_t>> enqueued(kThreads);
+  std::vector<std::vector<std::uint64_t>> dequeued(kThreads);
+
+  const std::uint64_t total_ops = testing::run_stress_workers(
+      kThreads, 8000,
+      [&](int th, Xoshiro256& rng, const std::atomic<bool>& stop) {
+        std::uint64_t ops = 0, seq = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Enqueue-biased so the queue grows and the tail hint actually
+          // shortcuts walks over recycled-node territory.
+          if (rng.percent(60)) {
+            const std::uint64_t v =
+                (static_cast<std::uint64_t>(th + 1) << 48) | ++seq;
+            q.enqueue(v, v ^ 0xD00D);
+            enqueued[th].push_back(v);
+          } else {
+            const auto p = q.dequeue();
+            if (p.has_value()) {
+              EXPECT_EQ(p->second, p->first ^ 0xD00D) << "torn element";
+              dequeued[th].push_back(p->first);
+            }
+          }
+          ++ops;
+        }
+        return ops;
+      });
+
+  std::vector<std::uint64_t> in, out;
+  for (const auto& v : enqueued) in.insert(in.end(), v.begin(), v.end());
+  for (const auto& v : dequeued) out.insert(out.end(), v.begin(), v.end());
+  for (const auto& [k, v] : q.items()) {
+    EXPECT_EQ(v, k ^ 0xD00D);
+    out.push_back(k);
+  }
+  std::sort(in.begin(), in.end());
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(in, out) << "queue lost or duplicated elements under pooling";
+
+  EXPECT_GT(total_ops, 0u);
+  PoolManager::drain();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace llxscx
