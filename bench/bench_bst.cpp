@@ -1,15 +1,31 @@
-// Experiment E6 — tree data structure on LLX/SCX (claim C-H, §6).
+// Experiment E6 — tree data structures on LLX/SCX (claim C-H, §6; the
+// chromatic tree extends it with PPoPP'14-style balance, DESIGN.md §11).
 //
-// The external BST built from the paper's tree-update shapes vs a
-// coarse-locked std::map (the container a C++ user gets by default).
-// Grid: key range × update ratio × threads; ops/second per cell.
+// Two workloads per structure:
+//   uniform — key range × update ratio × threads, random keys (the
+//             original E6 grid; the container a C++ user gets by default,
+//             a coarse-locked std::map, is the baseline)
+//   seq     — sequential ascending inserts from a shared counter: the
+//             adversarial stream that degenerates the unbalanced BST into
+//             a linear chain while the chromatic tree's rebalancing keeps
+//             O(log n) depth (the Patricia trie is bit-bounded either
+//             way). Each cell also reports the quiescent leaf-depth
+//             profile, which is the balance claim as a number.
+//
+// --json=<file> emits the grid as machine-readable JSON (one object per
+// cell plus the build configuration) so successive PRs can track the
+// BENCH_bst.json balance/throughput trajectory, mirroring bench_reclaim.
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "ds/bst_llxscx.h"
+#include "ds/chromatic_llxscx.h"
 #include "ds/patricia_llxscx.h"
 #include "util/random.h"
 
@@ -39,8 +55,35 @@ class LockedStdMap {
   std::map<std::uint64_t, std::uint64_t> map_;
 };
 
+struct CellResult {
+  const char* structure = "";
+  const char* stream = "";
+  int threads = 0;
+  unsigned update_pct = 0;
+  std::uint64_t key_range = 0;
+  double ops_per_sec = 0;
+  double avg_depth = 0;
+  std::uint64_t max_depth = 0;
+};
+
 template <typename MapT>
-double run_cell(int threads, unsigned update_pct, std::uint64_t key_range) {
+void capture_depth(const MapT& map, CellResult& res) {
+  if constexpr (requires { map.depth_stats(); }) {
+    const TreeDepthStats d = map.depth_stats();
+    res.avg_depth = d.avg_depth;
+    res.max_depth = d.max_depth;
+  }
+}
+
+template <typename MapT>
+CellResult run_uniform(const char* name, int threads, unsigned update_pct,
+                       std::uint64_t key_range) {
+  CellResult res;
+  res.structure = name;
+  res.stream = "uniform";
+  res.threads = threads;
+  res.update_pct = update_pct;
+  res.key_range = key_range;
   MapT map;
   {
     Xoshiro256 rng(1);
@@ -66,34 +109,118 @@ double run_cell(int threads, unsigned update_pct, std::uint64_t key_range) {
         }
         return ops;
       });
-  return r.ops_per_sec();
+  res.ops_per_sec = r.ops_per_sec();
+  capture_depth(map, res);
+  return res;
 }
 
-void run() {
-  std::printf("E6: BST (LLX/SCX external tree) vs locked std::map, "
-              "%d ms per cell\n\n", bench::phase_millis());
+template <typename MapT>
+CellResult run_seq(const char* name, int threads) {
+  CellResult res;
+  res.structure = name;
+  res.stream = "seq";
+  res.threads = threads;
+  res.update_pct = 100;
+  MapT map;
+  std::atomic<std::uint64_t> next{1};
+  const auto r = bench::run_phase(
+      threads, [&](int, const std::atomic<bool>& stop) -> std::uint64_t {
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = next.fetch_add(1, std::memory_order_relaxed);
+          map.insert(key, key);
+          ++ops;
+        }
+        return ops;
+      });
+  res.ops_per_sec = r.ops_per_sec();
+  res.key_range = next.load() - 1;  // how far the stream got
+  capture_depth(map, res);
+  return res;
+}
+
+void emit_json(const char* path, const std::vector<CellResult>& cells) {
+  bench::emit_json_envelope(
+      path, "bench_bst", cells.size(), [&](std::FILE* f, std::size_t i) {
+        const CellResult& c = cells[i];
+        std::fprintf(
+            f,
+            "{\"structure\": \"%s\", \"stream\": \"%s\", \"threads\": %d, "
+            "\"update_pct\": %u, \"key_range\": %llu, \"ops_per_sec\": %.0f, "
+            "\"avg_depth\": %.2f, \"max_depth\": %llu}",
+            c.structure, c.stream, c.threads, c.update_pct,
+            static_cast<unsigned long long>(c.key_range), c.ops_per_sec,
+            c.avg_depth, static_cast<unsigned long long>(c.max_depth));
+      });
+}
+
+void run(const char* json_path) {
+  std::printf("E6: trees on LLX/SCX (BST, Patricia, chromatic) vs locked "
+              "std::map, %d ms per cell\n\n", bench::phase_millis());
+  std::vector<CellResult> cells;
+
   for (std::uint64_t range : {std::uint64_t{1000}, std::uint64_t{100000}}) {
-    std::printf("key range = %llu\n", static_cast<unsigned long long>(range));
-    bench::Table t(
-        {"threads", "upd%", "llxscx-bst", "llxscx-patricia", "locked std::map"});
+    std::printf("uniform stream, key range = %llu\n",
+                static_cast<unsigned long long>(range));
+    bench::Table t({"threads", "upd%", "llxscx-bst", "llxscx-patricia",
+                    "llxscx-chromatic", "locked std::map"});
     for (int threads : bench::thread_grid({1, 2, 4})) {
       for (unsigned upd : {10u, 50u}) {
+        const CellResult b =
+            run_uniform<LlxScxBst>("bst", threads, upd, range);
+        const CellResult p =
+            run_uniform<LlxScxPatricia>("patricia", threads, upd, range);
+        const CellResult c =
+            run_uniform<LlxScxChromatic>("chromatic", threads, upd, range);
+        const CellResult m =
+            run_uniform<LockedStdMap>("locked-map", threads, upd, range);
         t.add_row({std::to_string(threads), std::to_string(upd),
-                   bench::fmt(run_cell<LlxScxBst>(threads, upd, range) / 1e6, 3) + "M",
-                   bench::fmt(run_cell<LlxScxPatricia>(threads, upd, range) / 1e6, 3) + "M",
-                   bench::fmt(run_cell<LockedStdMap>(threads, upd, range) / 1e6, 3) + "M"});
+                   bench::fmt(b.ops_per_sec / 1e6, 3) + "M",
+                   bench::fmt(p.ops_per_sec / 1e6, 3) + "M",
+                   bench::fmt(c.ops_per_sec / 1e6, 3) + "M",
+                   bench::fmt(m.ops_per_sec / 1e6, 3) + "M"});
+        cells.push_back(b);
+        cells.push_back(p);
+        cells.push_back(c);
+        cells.push_back(m);
       }
     }
     t.print();
     std::printf("\n");
   }
+
+  std::printf("sequential-insert stream (ascending keys; depth measured "
+              "after the phase)\n");
+  bench::Table st({"threads", "structure", "ops/s", "keys", "avg depth",
+                   "max depth"});
+  for (int threads : bench::thread_grid({1, 4})) {
+    const CellResult b = run_seq<LlxScxBst>("bst", threads);
+    const CellResult p = run_seq<LlxScxPatricia>("patricia", threads);
+    const CellResult c = run_seq<LlxScxChromatic>("chromatic", threads);
+    for (const CellResult* r : {&b, &p, &c}) {
+      st.add_row({std::to_string(threads), r->structure,
+                  bench::fmt(r->ops_per_sec / 1e6, 3) + "M",
+                  bench::fmt_u64(r->key_range), bench::fmt(r->avg_depth, 1),
+                  bench::fmt_u64(r->max_depth)});
+    }
+    cells.push_back(b);
+    cells.push_back(p);
+    cells.push_back(c);
+  }
+  st.print();
+  std::printf("\nnote: the BST's seq rows are the adversarial case — its "
+              "max depth grows with every key while the chromatic tree "
+              "stays at the red-black bound (test_chromatic pins the same "
+              "numbers).\n");
+
   Epoch::drain_all_for_testing();
+  if (json_path != nullptr) emit_json(json_path, cells);
 }
 
 }  // namespace
 }  // namespace llxscx
 
-int main() {
-  llxscx::run();
+int main(int argc, char** argv) {
+  llxscx::run(llxscx::bench::parse_json_flag(argc, argv));
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <initializer_list>
 #include <string>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "util/barrier.h"
+#include "util/memorder.h"
 #include "util/stats.h"
 
 namespace llxscx::bench {
@@ -145,5 +147,54 @@ inline std::string fmt(double v, int precision = 1) {
 }
 
 inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+// --- BENCH_*.json trajectory emitters (DESIGN.md §4) --------------------
+// Shared by every bench that joins the BENCH_*.json contract, so the
+// `--json=<file>` argument convention and the JSON envelope (bench name +
+// build config + rows array) cannot drift apart between binaries.
+
+// Parses the single supported flag `--json=<file>`. Returns the path (or
+// nullptr when absent); prints usage and exits 2 on anything else.
+inline const char* parse_json_flag(int argc, char** argv) {
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=<file>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return path;
+}
+
+// Writes {"bench": name, "config": {...}, "rows": [...]} to `path`.
+// `row_fn(f, i)` prints the i-th row object only — indentation and the
+// between-row comma are the envelope's job.
+template <class RowFn>
+void emit_json_envelope(const char* path, const char* name,
+                        std::size_t row_count, RowFn row_fn) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s for writing\n", name, path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"config\": {\"relaxed_orders\": %s, \"count_steps\": %s, "
+               "\"phase_ms\": %d},\n"
+               "  \"rows\": [\n",
+               name, kRelaxedOrders ? "true" : "false",
+               kStepCounting ? "true" : "false", phase_millis());
+  for (std::size_t i = 0; i < row_count; ++i) {
+    std::fprintf(f, "    ");
+    row_fn(f, i);
+    std::fprintf(f, "%s\n", i + 1 < row_count ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
 
 }  // namespace llxscx::bench

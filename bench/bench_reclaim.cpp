@@ -19,7 +19,6 @@
 // (one object per row plus the build configuration), so successive PRs
 // can track a BENCH_*.json perf trajectory.
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -88,37 +87,21 @@ CellResult run_cell(int threads) {
 }
 
 void emit_json(const char* path, const std::vector<CellResult>& cells) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_reclaim: cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"bench_reclaim\",\n"
-               "  \"config\": {\"relaxed_orders\": %s, \"count_steps\": %s, "
-               "\"phase_ms\": %d},\n"
-               "  \"rows\": [\n",
-               kRelaxedOrders ? "true" : "false",
-               kStepCounting ? "true" : "false", bench::phase_millis());
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const CellResult& c = cells[i];
-    std::fprintf(
-        f,
-        "    {\"threads\": %d, \"mode\": \"%s\", \"ops_per_sec\": %.0f, "
-        "\"allocs\": %llu, \"freed\": %llu, \"outstanding_after_drain\": "
-        "%llu, \"pool_hits\": %llu, \"leaked\": %llu}%s\n",
-        c.threads, c.mode, c.ops_per_sec,
-        static_cast<unsigned long long>(c.allocations),
-        static_cast<unsigned long long>(c.freed),
-        static_cast<unsigned long long>(c.outstanding_after_drain),
-        static_cast<unsigned long long>(c.pool_hits),
-        static_cast<unsigned long long>(c.leaked),
-        i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path);
+  bench::emit_json_envelope(
+      path, "bench_reclaim", cells.size(), [&](std::FILE* f, std::size_t i) {
+        const CellResult& c = cells[i];
+        std::fprintf(
+            f,
+            "{\"threads\": %d, \"mode\": \"%s\", \"ops_per_sec\": %.0f, "
+            "\"allocs\": %llu, \"freed\": %llu, \"outstanding_after_drain\": "
+            "%llu, \"pool_hits\": %llu, \"leaked\": %llu}",
+            c.threads, c.mode, c.ops_per_sec,
+            static_cast<unsigned long long>(c.allocations),
+            static_cast<unsigned long long>(c.freed),
+            static_cast<unsigned long long>(c.outstanding_after_drain),
+            static_cast<unsigned long long>(c.pool_hits),
+            static_cast<unsigned long long>(c.leaked));
+      });
 }
 
 void run(const char* json_path) {
@@ -157,15 +140,6 @@ void run(const char* json_path) {
 }  // namespace llxscx
 
 int main(int argc, char** argv) {
-  const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_path = argv[i] + 7;
-    } else {
-      std::fprintf(stderr, "usage: %s [--json=<file>]\n", argv[0]);
-      return 2;
-    }
-  }
-  llxscx::run(json_path);
+  llxscx::run(llxscx::bench::parse_json_flag(argc, argv));
   return 0;
 }

@@ -30,13 +30,11 @@
 // full-delete successor: s's address must never be written into gp's
 // child field (value-ABA door), so s is finalized and s′ takes its place.
 //
-// Searches traverse with plain reads (Proposition 2); LLX is only used to
-// pin the V-set of an update. All position state consumed by an SCX is
-// re-derived from LLX snapshots, never from the plain-read walk — the
-// ScxOp builder (llxscx/scx_op.h) makes that structural: `old` is always
-// the owner's snapshot value, `new` always a freshly()-minted node, and
-// the builder retires R plus the orphaned leaf exactly once on commit
-// (DESIGN.md §8).
+// The search/update/retry scaffolding lives in ds/tree_template.h (the
+// tree-update template, DESIGN.md §11): this class supplies only the
+// routing predicates and the two fresh-subtree builders. The template
+// emits byte-identical shared-step sequences to the previous hand-rolled
+// loops — the pinned CAS/write/alloc shapes in test_bst are the proof.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "ds/tree_template.h"
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
 #include "reclaim/record_manager.h"
@@ -69,10 +68,16 @@ struct BstNode : DataRecord<2> {
 };
 
 template <class Reclaim = EbrManager>
-class BasicLlxScxBst {
+class BasicLlxScxBst
+    : public TreeTemplate<BasicLlxScxBst<Reclaim>, BstNode, Reclaim> {
+  using Base = TreeTemplate<BasicLlxScxBst<Reclaim>, BstNode, Reclaim>;
+  friend Base;
+
  public:
   using Node = BstNode;
-  using Domain = LlxScxDomain<Reclaim>;
+  using Domain = typename Base::Domain;
+  using Op = typename Base::Op;
+  using Snapshot = typename Base::Snapshot;
 
   // User keys must be below kInf1; the two values above it are sentinels.
   static constexpr std::uint64_t kInf2 = ~std::uint64_t{0};
@@ -81,181 +86,43 @@ class BasicLlxScxBst {
   BasicLlxScxBst()
       : root_(kInf2, Domain::template make_record<Node>(kInf1, 0),
               Domain::template make_record<Node>(kInf2, 0)) {}
-  ~BasicLlxScxBst() {
-    // Quiescent teardown (retired-but-undrained nodes are the policy's).
-    // Iterative: a degenerate tree would blow the stack recursively.
-    std::vector<Node*> stack{child(&root_, Node::kLeft),
-                             child(&root_, Node::kRight)};
-    while (!stack.empty()) {
-      Node* n = stack.back();
-      stack.pop_back();
-      if (!n->leaf) {
-        stack.push_back(child(n, Node::kLeft));
-        stack.push_back(child(n, Node::kRight));
-      }
-      Domain::reclaim_now(n);
-    }
-  }
+  ~BasicLlxScxBst() { Base::destroy_all(); }
   BasicLlxScxBst(const BasicLlxScxBst&) = delete;
   BasicLlxScxBst& operator=(const BasicLlxScxBst&) = delete;
 
-  std::optional<std::uint64_t> get(std::uint64_t key) const {
-    typename Domain::Guard g;
-    const Node* n = read_child(&root_, dir_of(&root_, key));
-    while (!n->leaf) n = read_child(n, dir_of(n, key));
-    if (n->key == key) return n->value;
-    return std::nullopt;
-  }
-
-  // Validated read (claim C-C): pins ⟨parent, leaf⟩ with LLX, re-derives
-  // the leaf from the parent's snapshot, and VLX-validates both through
-  // the builder before answering — so the leaf provably still hung off
-  // that parent at the validation point. Costs k shared reads on top of
-  // the walk, no CAS, no allocation; get() (plain reads, Proposition 2)
-  // is the fast path, this is the belt-and-braces one.
-  std::optional<std::uint64_t> get_validated(std::uint64_t key) const {
-    typename Domain::Guard g;
-    for (;;) {
-      const Node* p = &root_;
-      std::size_t dir = dir_of(p, key);
-      for (const Node* n = read_child(p, dir); !n->leaf;) {
-        p = n;
-        dir = dir_of(p, key);
-        n = read_child(p, dir);
-      }
-      auto lp = llx(p);
-      if (!lp.ok()) continue;
-      Node* l = to_node(lp.field(dir));
-      if (!l->leaf) continue;  // tree grew below p since the walk
-      auto ll = llx(l);
-      if (!ll.ok()) continue;
-      ScxOp<Node, Reclaim> op;
-      op.link(lp);
-      op.link(ll);
-      if (!op.validate()) continue;
-      if (l->key == key) return l->value;
-      return std::nullopt;
-    }
-  }
-
-  // Insert-if-absent; returns whether the key was inserted.
-  bool insert(std::uint64_t key, std::uint64_t value) {
-    typename Domain::Guard g;
-    for (;;) {
-      // Plain-read walk to the leaf's parent; everything the SCX consumes
-      // is re-derived from the LLX snapshot of p below.
-      Node* p = &root_;
-      std::size_t dir = dir_of(p, key);
-      for (Node* n = read_child(p, dir); !n->leaf;) {
-        p = n;
-        dir = dir_of(p, key);
-        n = read_child(p, dir);
-      }
-      auto lp = llx(p);
-      if (!lp.ok()) continue;  // frozen or finalized underfoot: re-walk
-      Node* l = to_node(lp.field(dir));
-      if (!l->leaf) continue;  // tree grew below p since the walk
-      if (l->key == key) return false;
-      auto ll = llx(l);
-      if (!ll.ok()) continue;
-      ScxOp<Node, Reclaim> op;
-      op.link(lp);
-      op.remove(ll);
-      auto nl = op.freshly(key, value);
-      auto lcopy = op.freshly(l->key, l->value);
-      auto ni = key < l->key ? op.freshly(l->key, nl, lcopy)
-                             : op.freshly(key, lcopy, nl);
-      op.write(p, dir, ni);
-      if (op.commit()) return true;
-    }
-  }
-
-  // Removes key if present; returns whether it was removed.
-  bool erase(std::uint64_t key) {
-    typename Domain::Guard g;
-    for (;;) {
-      // Walk to the leaf tracking grandparent and parent.
-      Node* gp = nullptr;
-      std::size_t gdir = 0;
-      Node* p = &root_;
-      std::size_t dir = dir_of(p, key);
-      for (Node* n = read_child(p, dir); !n->leaf;) {
-        gp = p;
-        gdir = dir;
-        p = n;
-        dir = dir_of(p, key);
-        n = read_child(p, dir);
-      }
-      if (gp == nullptr) {
-        // Path root→leaf: only the sentinel leaves live at depth 1, so the
-        // key is absent (user keys < kInf1 always sit at depth ≥ 2).
-        return false;
-      }
-      auto lgp = llx(gp);
-      if (!lgp.ok()) continue;
-      Node* p2 = to_node(lgp.field(gdir));
-      if (p2->leaf) {
-        // The subtree collapsed to a leaf since the walk: decide from it.
-        if (p2->key != key) return false;
-        continue;  // key present but position stale: re-walk
-      }
-      auto lp = llx(p2);
-      if (!lp.ok()) continue;
-      const std::size_t d = dir_of(p2, key);
-      Node* l = to_node(lp.field(d));
-      if (!l->leaf) continue;  // tree grew below p2: re-walk
-      if (l->key != key) return false;
-      Node* s = to_node(lp.field(1 - d));
-      auto ls = llx(s);
-      if (!ls.ok()) continue;
-      ScxOp<Node, Reclaim> op;
-      op.link(lgp);
-      op.remove(lp);  // p2: finalized + retired by the builder
-      op.remove(ls);  // s: likewise
-      auto scopy = s->leaf
-                       ? op.freshly(s->key, s->value)
-                       : op.freshly(s->key, to_node(ls.field(Node::kLeft)),
-                                    to_node(ls.field(Node::kRight)));
-      op.orphan(l);  // unreachable once p2 is unlinked (see header)
-      op.write(gp, gdir, scopy);
-      if (op.commit()) return true;
-    }
-  }
-
-  // Ordered ⟨key, value⟩ snapshot of user keys. Quiescent callers only.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
-    // Explicit in-order traversal (a degenerate tree would blow the stack).
-    std::vector<const Node*> path;
-    const Node* n = child(&root_, Node::kLeft);
-    while (n != nullptr || !path.empty()) {
-      while (n != nullptr) {
-        path.push_back(n);
-        n = n->leaf ? nullptr : child(n, Node::kLeft);
-      }
-      const Node* top = path.back();
-      path.pop_back();
-      if (top->leaf && top->key < kInf1) out.emplace_back(top->key, top->value);
-      n = top->leaf ? nullptr : child(top, Node::kRight);
-    }
-    return out;
-  }
-
  private:
-  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static bool is_leaf(const Node* n) { return n->leaf; }
+  static std::uint64_t key_of(const Node* n) { return n->key; }
+  static std::uint64_t value_of(const Node* n) { return n->value; }
   static std::size_t dir_of(const Node* n, std::uint64_t key) {
     return key < n->key ? Node::kLeft : Node::kRight;
   }
-  static Node* read_child(const Node* n, std::size_t dir) {
-    Stats::count_read();
-    // acquire: pairs with the committing SCX's release update-CAS — a
-    // node's immutable fields are visible before its address is reachable.
-    return to_node(n->mut(dir).load(mo::acquire));
+  // The root sentinel routes by key like any interior node.
+  std::size_t root_dir(std::uint64_t key) const { return dir_of(&root_, key); }
+  // Insert's walk ends at the leaf.
+  static bool can_descend(const Node* n, std::uint64_t /*key*/) {
+    return !n->leaf;
   }
-  // Uninstrumented child load for quiescent teardown/snapshots.
-  static Node* child(const Node* n, std::size_t dir) {
-    return to_node(n->mut(dir).load(std::memory_order_relaxed));
+  bool is_user_leaf(const Node* n) const { return n->key < kInf1; }
+
+  // insert(k) displacing leaf l: internal(max(k, l.key), leaf(k), l′).
+  Fresh<Node> build_insert(Op& op, Node* l, const Snapshot& /*ll*/,
+                           std::uint64_t key, std::uint64_t value) {
+    auto nl = op.freshly(key, value);
+    auto lcopy = op.freshly(l->key, l->value);
+    return key < l->key ? op.freshly(l->key, nl.get(), lcopy.get())
+                        : op.freshly(key, lcopy.get(), nl.get());
   }
+
+  // delete(k): fresh sibling copy (children taken from the LLX snapshot).
+  Fresh<Node> copy_for_erase(Op& op, Node* /*p*/, Node* s, const Snapshot& ls) {
+    return s->leaf ? op.freshly(s->key, s->value)
+                   : op.freshly(s->key, Base::to_node(ls.field(Node::kLeft)),
+                                Base::to_node(ls.field(Node::kRight)));
+  }
+
+  Node* root_ptr() { return &root_; }
+  const Node* root_ptr() const { return &root_; }
 
   // Permanent root sentinel: internal(kInf2), never frozen into any R-set.
   Node root_;

@@ -30,6 +30,20 @@
 
 namespace llxscx {
 
+// Per-bucket occupancy snapshot (ReclaimStats-style plain counters, no
+// shared steps beyond the traversal reads). Groundwork for the still-open
+// non-blocking resize: the trigger policy will read exactly these numbers,
+// and test_containers asserts the max-bucket bound the fixed Fibonacci
+// spread is supposed to deliver. Exact when quiescent, a consistent-ish
+// estimate under concurrency (like size()).
+struct HashMapOccupancy {
+  std::size_t buckets = 0;
+  std::size_t items = 0;
+  std::size_t nonempty_buckets = 0;
+  std::size_t max_bucket = 0;  // longest single-bucket chain
+  double load_factor = 0.0;    // items / buckets
+};
+
 struct HashMapNode : DataRecord<1> {
   static constexpr std::size_t kNext = 0;
 
@@ -161,6 +175,26 @@ class BasicLlxScxHashMap {
   }
 
   std::size_t bucket_count() const { return heads_.size(); }
+
+  // Walk every bucket and report the occupancy profile (see
+  // HashMapOccupancy above). Plain reads under one guard.
+  HashMapOccupancy occupancy() const {
+    typename Domain::Guard g;
+    HashMapOccupancy o;
+    o.buckets = heads_.size();
+    for (const Node* head : heads_) {
+      std::size_t chain = 0;
+      for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
+        ++chain;
+      }
+      o.items += chain;
+      if (chain > 0) ++o.nonempty_buckets;
+      if (chain > o.max_bucket) o.max_bucket = chain;
+    }
+    o.load_factor =
+        static_cast<double>(o.items) / static_cast<double>(o.buckets);
+    return o;
+  }
 
   // All ⟨key, value⟩ pairs, bucket by bucket. Quiescent callers only.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {

@@ -8,7 +8,7 @@
 // strictly decreasing `bit`. Routing at a branch tests the key's `bit`:
 // 0 → left, 1 → right. Storing the prefix makes the insertion point
 // locally checkable from immutable fields alone — no re-walk is needed to
-// validate what a concurrent update may have moved (see insert()).
+// validate what a concurrent update may have moved (see can_descend()).
 //
 // Sentinels: the root is a pseudo-branch (bit 64, never routed by bit —
 // the trie hangs off its left child; the right child is unused) and the
@@ -31,6 +31,12 @@
 // n′/s′ are fresh copies (same immutable fields, children taken from the
 // LLX snapshot), so no address is ever written twice into the same child
 // field; the removed leaf l is retired unfinalized exactly as in the BST.
+//
+// The search/update/retry scaffolding lives in ds/tree_template.h (the
+// tree-update template, DESIGN.md §11); this class supplies routing by
+// bit, the prefix-mismatch walk predicate, and the fresh-subtree
+// builders. Shared-step sequences are byte-identical to the previous
+// hand-rolled loops (pinned in test_patricia).
 #pragma once
 
 #include <bit>
@@ -39,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "ds/tree_template.h"
 #include "llxscx/llx_scx.h"
 #include "llxscx/scx_op.h"
 #include "reclaim/record_manager.h"
@@ -70,10 +77,16 @@ struct PatriciaNode : DataRecord<2> {
 };
 
 template <class Reclaim = EbrManager>
-class BasicLlxScxPatricia {
+class BasicLlxScxPatricia
+    : public TreeTemplate<BasicLlxScxPatricia<Reclaim>, PatriciaNode, Reclaim> {
+  using Base = TreeTemplate<BasicLlxScxPatricia<Reclaim>, PatriciaNode, Reclaim>;
+  friend Base;
+
  public:
   using Node = PatriciaNode;
-  using Domain = LlxScxDomain<Reclaim>;
+  using Domain = typename Base::Domain;
+  using Op = typename Base::Op;
+  using Snapshot = typename Base::Snapshot;
 
   // All-ones is the permanent rightmost sentinel leaf; user keys below it.
   static constexpr std::uint64_t kSentinelKey = ~std::uint64_t{0};
@@ -81,163 +94,65 @@ class BasicLlxScxPatricia {
   BasicLlxScxPatricia()
       : root_(/*pfx=*/0, /*bit=*/64,
               Domain::template make_record<Node>(kSentinelKey, 0), nullptr) {}
-  ~BasicLlxScxPatricia() {
-    // Quiescent teardown; depth is bounded by 65 but iterate anyway to
-    // match the BST idiom.
-    std::vector<Node*> stack{child(&root_, Node::kLeft)};
-    while (!stack.empty()) {
-      Node* n = stack.back();
-      stack.pop_back();
-      if (!n->leaf) {
-        stack.push_back(child(n, Node::kLeft));
-        stack.push_back(child(n, Node::kRight));
-      }
-      Domain::reclaim_now(n);
-    }
-  }
+  ~BasicLlxScxPatricia() { Base::destroy_all(); }
   BasicLlxScxPatricia(const BasicLlxScxPatricia&) = delete;
   BasicLlxScxPatricia& operator=(const BasicLlxScxPatricia&) = delete;
 
-  std::optional<std::uint64_t> get(std::uint64_t key) const {
-    typename Domain::Guard g;
-    const Node* n = read_child(&root_, Node::kLeft);
-    while (!n->leaf) n = read_child(n, dir_of(n, key));
-    if (n->key() == key) return n->value;
-    return std::nullopt;
-  }
-
-  // Insert-if-absent; returns whether the key was inserted.
-  bool insert(std::uint64_t key, std::uint64_t value) {
-    typename Domain::Guard g;
-    for (;;) {
-      // Walk until the local split condition fires at the edge p→n: n is a
-      // leaf, or n's prefix disagrees with key above n's bit. Both checks
-      // read only immutable fields, so re-deriving n from p's LLX snapshot
-      // below revalidates the whole position.
-      Node* p = &root_;
-      std::size_t dir = Node::kLeft;
-      Node* n = read_child(p, dir);
-      while (!n->leaf && matches_prefix(n, key)) {
-        p = n;
-        dir = dir_of(p, key);
-        n = read_child(p, dir);
-      }
-      auto lp = llx(p);
-      if (!lp.ok()) continue;
-      n = to_node(lp.field(dir));
-      if (!n->leaf && matches_prefix(n, key)) continue;  // edge moved: re-walk
-      const std::uint64_t other = n->leaf ? n->key() : n->prefix;
-      if (n->leaf && other == key) return false;
-      // Highest differing bit; > n->bit for a branch by the prefix check.
-      const unsigned b =
-          63 - static_cast<unsigned>(std::countl_zero(key ^ other));
-      auto ln = llx(n);
-      if (!ln.ok()) continue;
-      ScxOp<Node, Reclaim> op;
-      op.link(lp);
-      op.remove(ln);
-      auto ncopy = copy_of(op, n, ln);
-      auto nl = op.freshly(key, value);
-      const std::uint64_t pfx = key & ~((std::uint64_t{2} << b) - 1);
-      auto nb = ((key >> b) & 1) ? op.freshly(pfx, b, ncopy.get(), nl.get())
-                                 : op.freshly(pfx, b, nl.get(), ncopy.get());
-      op.write(p, dir, nb);
-      if (op.commit()) return true;
-    }
-  }
-
-  // Removes key if present; returns whether it was removed.
-  bool erase(std::uint64_t key) {
-    typename Domain::Guard g;
-    for (;;) {
-      Node* gp = nullptr;
-      std::size_t gdir = 0;
-      Node* p = &root_;
-      std::size_t dir = Node::kLeft;
-      for (Node* n = read_child(p, dir); !n->leaf;) {
-        gp = p;
-        gdir = dir;
-        p = n;
-        dir = dir_of(p, key);
-        n = read_child(p, dir);
-      }
-      if (gp == nullptr) return false;  // depth-1 leaf is the sentinel
-      auto lgp = llx(gp);
-      if (!lgp.ok()) continue;
-      Node* p2 = to_node(lgp.field(gdir));
-      if (p2->leaf) {
-        if (p2->key() != key) return false;
-        continue;  // key present but hoisted: re-walk for the new parent
-      }
-      auto lp = llx(p2);
-      if (!lp.ok()) continue;
-      const std::size_t d = dir_of(p2, key);
-      Node* l = to_node(lp.field(d));
-      if (!l->leaf) continue;  // trie grew below p2: re-walk
-      if (l->key() != key) return false;
-      Node* s = to_node(lp.field(1 - d));
-      auto ls = llx(s);
-      if (!ls.ok()) continue;
-      ScxOp<Node, Reclaim> op;
-      op.link(lgp);
-      op.remove(lp);  // p2
-      op.remove(ls);  // s
-      auto scopy = copy_of(op, s, ls);
-      op.orphan(l);  // removed leaf: unreachable once p2 is unlinked
-      op.write(gp, gdir, scopy);
-      if (op.commit()) return true;
-    }
-  }
-
-  // Ordered ⟨key, value⟩ snapshot of user keys (MSB-first in-order is
-  // ascending unsigned order). Quiescent callers only.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
-    std::vector<const Node*> path;
-    const Node* n = child(&root_, Node::kLeft);
-    while (n != nullptr || !path.empty()) {
-      while (n != nullptr) {
-        path.push_back(n);
-        n = n->leaf ? nullptr : child(n, Node::kLeft);
-      }
-      const Node* top = path.back();
-      path.pop_back();
-      if (top->leaf && top->key() != kSentinelKey) {
-        out.emplace_back(top->key(), top->value);
-      }
-      n = top->leaf ? nullptr : child(top, Node::kRight);
-    }
-    return out;
-  }
-
  private:
-  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static bool is_leaf(const Node* n) { return n->leaf; }
+  static std::uint64_t key_of(const Node* n) { return n->key(); }
+  static std::uint64_t value_of(const Node* n) { return n->value; }
   static std::size_t dir_of(const Node* n, std::uint64_t key) {
     return (key >> n->bit) & 1 ? Node::kRight : Node::kLeft;
   }
+  // The pseudo-branch root (bit 64) must not be routed by bit: the trie
+  // is always its left child.
+  std::size_t root_dir(std::uint64_t /*key*/) const { return Node::kLeft; }
+  // Insert's walk ends at the edge p→n where n is a leaf OR n's prefix
+  // disagrees with key above n's bit. Both checks read only immutable
+  // fields, so re-checking n from p's LLX snapshot revalidates the whole
+  // position.
+  static bool can_descend(const Node* n, std::uint64_t key) {
+    return !n->leaf && matches_prefix(n, key);
+  }
+  bool is_user_leaf(const Node* n) const { return n->key() != kSentinelKey; }
+
   // Does `key` agree with branch n on every bit above n->bit?
   static bool matches_prefix(const Node* n, std::uint64_t key) {
     return ((key ^ n->prefix) >> n->bit) >> 1 == 0;
   }
+
+  // insert(k) splitting the edge p→n at the highest differing bit b:
+  // branch(b) over leaf(k) and a fresh copy of n.
+  Fresh<Node> build_insert(Op& op, Node* n, const Snapshot& ln,
+                           std::uint64_t key, std::uint64_t value) {
+    const std::uint64_t other = n->leaf ? n->key() : n->prefix;
+    // Highest differing bit; > n->bit for a branch by the prefix check.
+    const unsigned b =
+        63 - static_cast<unsigned>(std::countl_zero(key ^ other));
+    auto ncopy = copy_of(op, n, ln);
+    auto nl = op.freshly(key, value);
+    const std::uint64_t pfx = key & ~((std::uint64_t{2} << b) - 1);
+    return ((key >> b) & 1) ? op.freshly(pfx, b, ncopy.get(), nl.get())
+                            : op.freshly(pfx, b, nl.get(), ncopy.get());
+  }
+
+  Fresh<Node> copy_for_erase(Op& op, Node* /*p*/, Node* s, const Snapshot& ls) {
+    return copy_of(op, s, ls);
+  }
+
   // Fresh structural copy from an LLX snapshot (immutable fields + the
   // snapshotted children), minted through the op so the builder owns it
   // until commit — the fresh-node discipline, §8 rule 3.
-  static Fresh<Node> copy_of(ScxOp<Node, Reclaim>& op, const Node* n,
-                             const LlxResult<2>& ln) {
+  static Fresh<Node> copy_of(Op& op, const Node* n, const Snapshot& ln) {
     return n->leaf ? op.freshly(n->key(), n->value)
                    : op.freshly(n->prefix, n->bit,
-                                to_node(ln.field(Node::kLeft)),
-                                to_node(ln.field(Node::kRight)));
+                                Base::to_node(ln.field(Node::kLeft)),
+                                Base::to_node(ln.field(Node::kRight)));
   }
-  static Node* read_child(const Node* n, std::size_t dir) {
-    Stats::count_read();
-    // acquire: pairs with the committing SCX's release update-CAS — a
-    // node's immutable fields are visible before its address is reachable.
-    return to_node(n->mut(dir).load(mo::acquire));
-  }
-  static Node* child(const Node* n, std::size_t dir) {
-    return to_node(n->mut(dir).load(std::memory_order_relaxed));
-  }
+
+  Node* root_ptr() { return &root_; }
+  const Node* root_ptr() const { return &root_; }
 
   // Root pseudo-branch (bit 64): the trie is its left child, right unused.
   Node root_;

@@ -1,0 +1,301 @@
+// Tree-update template — the generic leaf-oriented-tree engine the
+// paper's §6 tree applications share (and Brown, Ellen & Ruppert's
+// PPoPP'14 follow-up, *A General Technique for Non-blocking Trees*,
+// turns into a method): every update is
+//
+//   search path → LLX the affected section → compute a fresh subtree
+//   → SCX(V, R)
+//
+// and everything EXCEPT the structure-specific pieces of that sentence —
+// the retry loop, the plain-read walk with grandparent tracking, the
+// LLX-pin-and-revalidate step, sentinel handling at the root, the ScxOp
+// assembly, commit-time retirement, and the RecordManager plumbing — is
+// identical across the external BST, the Patricia trie, and the
+// chromatic tree. This header writes it once.
+//
+// TreeTemplate<Derived, Node, Reclaim> is a CRTP base. The Derived
+// structure supplies only the irreducible design work of DESIGN.md §8:
+//
+//   static is_leaf(n)            leaf/interior discrimination
+//   static key_of(n), value_of(n)  immutable payload access
+//   static dir_of(n, key)        routing at an interior node
+//   root_dir(key)                the first step out of the root sentinel
+//                                (Patricia's bit-64 pseudo-branch must not
+//                                be routed by bit; the BSTs route normally)
+//   static can_descend(n, key)   insert's walk predicate — where the
+//                                search path ends for an insertion (BSTs:
+//                                at the leaf; Patricia: also at the first
+//                                prefix mismatch). Re-checked against the
+//                                parent's LLX snapshot, so everything the
+//                                SCX consumes is snapshot-derived.
+//   build_insert(op, n, ln, k, v)  the fresh replacement subtree for an
+//                                insert displacing n (snapshot ln)
+//   copy_for_erase(op, p, s, ls)   the fresh sibling copy an erase
+//                                installs (chromatic: carries w(p)+w(s))
+//   is_user_leaf(n)              sentinel filter for items()/depth_stats()
+//   after_insert(k, repl, p) / after_erase(k, scopy)
+//                                post-commit hooks (no-ops here; the
+//                                chromatic tree hangs its violation
+//                                cleanup off them)
+//
+// The engine emits byte-identical shared-step sequences to the previous
+// hand-written BST/Patricia code — same LLX calls, same SCX shapes
+// (insert SCX(V=⟨p,l⟩,R=⟨l⟩), erase SCX(V=⟨gp,p,s⟩,R=⟨p,s⟩)), same
+// allocation counts — so the pinned CAS/write/alloc tests of
+// test_bst/test_patricia pass unchanged (the zero-overhead proof, as in
+// the PR 3 ScxOp port). The hooks are header-visible and the after_*
+// defaults are empty, so the compiler erases the indirection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "llxscx/llx_scx.h"
+#include "llxscx/scx_op.h"
+#include "reclaim/record_manager.h"
+#include "util/memorder.h"
+
+namespace llxscx {
+
+// Quiescent balance summary (depth counted in edges below the root
+// sentinel, over user leaves only). What bench_bst's --json emits and
+// test_chromatic pins: the unbalanced BST's sequential-insert max_depth
+// is linear, the chromatic tree's stays O(log n).
+struct TreeDepthStats {
+  std::size_t user_leaves = 0;
+  std::size_t max_depth = 0;
+  double avg_depth = 0.0;
+};
+
+template <class Derived, class NodeT, class Reclaim>
+class TreeTemplate {
+ public:
+  using Node = NodeT;
+  using Domain = LlxScxDomain<Reclaim>;
+  using Op = ScxOp<NodeT, Reclaim>;
+  using Snapshot = LlxResult<NodeT::kNumMut>;
+
+  std::optional<std::uint64_t> get(std::uint64_t key) const {
+    typename Domain::Guard g;
+    const Node* n = read_child(self().root_ptr(), self().root_dir(key));
+    while (!Derived::is_leaf(n)) n = read_child(n, Derived::dir_of(n, key));
+    if (Derived::key_of(n) == key) return Derived::value_of(n);
+    return std::nullopt;
+  }
+
+  // Validated read (claim C-C): pins ⟨parent, leaf⟩ with LLX, re-derives
+  // the leaf from the parent's snapshot, and VLX-validates both through
+  // the builder before answering — so the leaf provably still hung off
+  // that parent at the validation point. Costs k shared reads on top of
+  // the walk, no CAS, no allocation; get() (plain reads, Proposition 2)
+  // is the fast path, this is the belt-and-braces one.
+  std::optional<std::uint64_t> get_validated(std::uint64_t key) const {
+    typename Domain::Guard g;
+    for (;;) {
+      const Node* p = self().root_ptr();
+      std::size_t dir = self().root_dir(key);
+      for (const Node* n = read_child(p, dir); !Derived::is_leaf(n);) {
+        p = n;
+        dir = Derived::dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      auto lp = llx(p);
+      if (!lp.ok()) continue;
+      Node* l = to_node(lp.field(dir));
+      if (!Derived::is_leaf(l)) continue;  // tree grew below p since the walk
+      auto ll = llx(l);
+      if (!ll.ok()) continue;
+      Op op;
+      op.link(lp);
+      op.link(ll);
+      if (!op.validate()) continue;
+      if (Derived::key_of(l) == key) return Derived::value_of(l);
+      return std::nullopt;
+    }
+  }
+
+  // Insert-if-absent; returns whether the key was inserted.
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    typename Domain::Guard g;
+    for (;;) {
+      // Plain-read walk to the insertion edge p→n; everything the SCX
+      // consumes is re-derived from the LLX snapshot of p below.
+      Node* p = self().root_ptr();
+      std::size_t dir = self().root_dir(key);
+      Node* n = read_child(p, dir);
+      while (Derived::can_descend(n, key)) {
+        p = n;
+        dir = Derived::dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      auto lp = llx(p);
+      if (!lp.ok()) continue;  // frozen or finalized underfoot: re-walk
+      n = to_node(lp.field(dir));
+      if (Derived::can_descend(n, key)) continue;  // edge moved: re-walk
+      if (Derived::is_leaf(n) && Derived::key_of(n) == key) return false;
+      auto ln = llx(n);
+      if (!ln.ok()) continue;
+      Op op;
+      op.link(lp);
+      op.remove(ln);
+      auto repl = self().build_insert(op, n, ln, key, value);
+      op.write(p, dir, repl);
+      Node* installed = repl.get();
+      if (op.commit()) {
+        self().after_insert(key, installed, p);
+        return true;
+      }
+    }
+  }
+
+  // Removes key if present; returns whether it was removed.
+  bool erase(std::uint64_t key) {
+    typename Domain::Guard g;
+    for (;;) {
+      // Walk to the leaf tracking grandparent and parent.
+      Node* gp = nullptr;
+      std::size_t gdir = 0;
+      Node* p = self().root_ptr();
+      std::size_t dir = self().root_dir(key);
+      for (Node* n = read_child(p, dir); !Derived::is_leaf(n);) {
+        gp = p;
+        gdir = dir;
+        p = n;
+        dir = Derived::dir_of(p, key);
+        n = read_child(p, dir);
+      }
+      if (gp == nullptr) {
+        // Depth-1 leaf: only sentinels live there (every structure's
+        // sentinel argument), so the key is absent.
+        return false;
+      }
+      auto lgp = llx(gp);
+      if (!lgp.ok()) continue;
+      Node* p2 = to_node(lgp.field(gdir));
+      if (Derived::is_leaf(p2)) {
+        // The subtree collapsed to a leaf since the walk: decide from it.
+        if (Derived::key_of(p2) != key) return false;
+        continue;  // key present but position stale: re-walk
+      }
+      auto lp = llx(p2);
+      if (!lp.ok()) continue;
+      const std::size_t d = Derived::dir_of(p2, key);
+      Node* l = to_node(lp.field(d));
+      if (!Derived::is_leaf(l)) continue;  // tree grew below p2: re-walk
+      if (Derived::key_of(l) != key) return false;
+      Node* s = to_node(lp.field(1 - d));
+      auto ls = llx(s);
+      if (!ls.ok()) continue;
+      Op op;
+      op.link(lgp);
+      op.remove(lp);  // p2: finalized + retired by the builder
+      op.remove(ls);  // s: copied, never re-linked (value-ABA door)
+      auto scopy = self().copy_for_erase(op, p2, s, ls);
+      op.orphan(l);  // unreachable once p2 is unlinked (DESIGN.md §8)
+      op.write(gp, gdir, scopy);
+      Node* installed = scopy.get();
+      if (op.commit()) {
+        self().after_erase(key, installed);
+        return true;
+      }
+    }
+  }
+
+  // Ordered ⟨key, value⟩ snapshot of user keys (in-order). Quiescent
+  // callers only.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    // Explicit traversal: a degenerate tree would blow the stack.
+    std::vector<const Node*> path;
+    const Node* n = plain_child(self().root_ptr(), 0);
+    while (n != nullptr || !path.empty()) {
+      while (n != nullptr) {
+        path.push_back(n);
+        n = Derived::is_leaf(n) ? nullptr : plain_child(n, 0);
+      }
+      const Node* top = path.back();
+      path.pop_back();
+      if (Derived::is_leaf(top) && self().is_user_leaf(top)) {
+        out.emplace_back(Derived::key_of(top), Derived::value_of(top));
+      }
+      n = Derived::is_leaf(top) ? nullptr : plain_child(top, 1);
+    }
+    return out;
+  }
+
+  // Depth profile over user leaves. Quiescent callers only.
+  TreeDepthStats depth_stats() const {
+    TreeDepthStats st;
+    std::uint64_t depth_sum = 0;
+    std::vector<std::pair<const Node*, std::size_t>> stack;
+    const Node* r = self().root_ptr();
+    for (std::size_t c = 0; c < Node::kNumMut; ++c) {
+      if (const Node* n = plain_child(r, c)) stack.emplace_back(n, 1);
+    }
+    while (!stack.empty()) {
+      auto [n, depth] = stack.back();
+      stack.pop_back();
+      if (Derived::is_leaf(n)) {
+        if (!self().is_user_leaf(n)) continue;
+        ++st.user_leaves;
+        depth_sum += depth;
+        if (depth > st.max_depth) st.max_depth = depth;
+        continue;
+      }
+      stack.emplace_back(plain_child(n, 0), depth + 1);
+      stack.emplace_back(plain_child(n, 1), depth + 1);
+    }
+    if (st.user_leaves > 0) {
+      st.avg_depth =
+          static_cast<double>(depth_sum) / static_cast<double>(st.user_leaves);
+    }
+    return st;
+  }
+
+ protected:
+  // Hook defaults: structures without post-commit work (BST, Patricia)
+  // inherit these and pay nothing.
+  void after_insert(std::uint64_t, Node*, Node*) {}
+  void after_erase(std::uint64_t, Node*) {}
+
+  // Quiescent teardown for the Derived destructor (retired-but-undrained
+  // nodes are the policy's). Iterative: a degenerate tree would blow the
+  // stack recursively. Skips null children so Patricia's unused root
+  // slot needs no special case.
+  void destroy_all() {
+    std::vector<Node*> stack;
+    Node* r = self().root_ptr();
+    for (std::size_t c = 0; c < Node::kNumMut; ++c) {
+      if (Node* n = plain_child(r, c)) stack.push_back(n);
+    }
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (!Derived::is_leaf(n)) {
+        stack.push_back(plain_child(n, 0));
+        stack.push_back(plain_child(n, 1));
+      }
+      Domain::reclaim_now(n);
+    }
+  }
+
+  static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
+  static Node* read_child(const Node* n, std::size_t dir) {
+    Stats::count_read();
+    // acquire: pairs with the committing SCX's release update-CAS — a
+    // node's immutable fields are visible before its address is reachable.
+    return to_node(n->mut(dir).load(mo::acquire));
+  }
+  // Uninstrumented child load for quiescent teardown/snapshots.
+  static Node* plain_child(const Node* n, std::size_t dir) {
+    return to_node(n->mut(dir).load(std::memory_order_relaxed));
+  }
+
+ private:
+  Derived& self() { return static_cast<Derived&>(*this); }
+  const Derived& self() const { return static_cast<const Derived&>(*this); }
+};
+
+}  // namespace llxscx

@@ -309,6 +309,43 @@ TEST(HashMap, UpsertGetEraseSemantics) {
   Epoch::drain_all_for_testing();
 }
 
+// Occupancy counters (groundwork for non-blocking resize): the Fibonacci
+// multiplicative spread must keep dense sequential key sets close to the
+// mean chain length — the max-bucket bound below is what a resize
+// trigger would watch.
+TEST(HashMap, OccupancyStatsAndMaxBucketBound) {
+  constexpr std::size_t kBuckets = 256;
+  constexpr std::uint64_t kKeys = 4096;  // mean chain = 16
+  LlxScxHashMap m(kBuckets);
+
+  {
+    const HashMapOccupancy o = m.occupancy();
+    EXPECT_EQ(o.buckets, kBuckets);
+    EXPECT_EQ(o.items, 0u);
+    EXPECT_EQ(o.nonempty_buckets, 0u);
+    EXPECT_EQ(o.max_bucket, 0u);
+    EXPECT_EQ(o.load_factor, 0.0);
+  }
+
+  for (std::uint64_t k = 1; k <= kKeys; ++k) ASSERT_TRUE(m.insert(k, k));
+  HashMapOccupancy o = m.occupancy();
+  EXPECT_EQ(o.buckets, kBuckets);
+  EXPECT_EQ(o.items, kKeys);
+  EXPECT_EQ(o.items, m.size()) << "occupancy and size must agree";
+  EXPECT_DOUBLE_EQ(o.load_factor, static_cast<double>(kKeys) / kBuckets);
+  EXPECT_GE(o.nonempty_buckets, kBuckets / 2)
+      << "sequential keys must not pile into a few buckets";
+  EXPECT_LE(o.max_bucket, 2 * (kKeys / kBuckets))
+      << "max chain must stay near the mean under the Fibonacci spread";
+
+  for (std::uint64_t k = 1; k <= kKeys; k += 2) ASSERT_TRUE(m.erase(k));
+  o = m.occupancy();
+  EXPECT_EQ(o.items, kKeys / 2);
+  EXPECT_DOUBLE_EQ(o.load_factor, static_cast<double>(kKeys / 2) / kBuckets);
+  EXPECT_LE(o.max_bucket, kKeys / kBuckets);
+  Epoch::drain_all_for_testing();
+}
+
 // DESIGN.md §9 — the multiset's shapes, per bucket: upsert-absent k=1 ⇒
 // 2 CAS / 2 writes, upsert-present k=2 ⇒ 3 CAS / 3 writes (node
 // replacement), erase k=3 ⇒ 4 CAS / 4 writes (full-delete, successor
