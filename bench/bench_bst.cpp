@@ -139,8 +139,8 @@ CellResult run_seq(const char* name, int threads) {
   return res;
 }
 
-void emit_json(const char* path, const std::vector<CellResult>& cells) {
-  bench::emit_json_envelope(
+bool emit_json(const char* path, const std::vector<CellResult>& cells) {
+  return bench::emit_json_envelope(
       path, "bench_bst", cells.size(), [&](std::FILE* f, std::size_t i) {
         const CellResult& c = cells[i];
         std::fprintf(
@@ -154,7 +154,7 @@ void emit_json(const char* path, const std::vector<CellResult>& cells) {
       });
 }
 
-void run(const char* json_path) {
+bool run(const char* json_path) {
   std::printf("E6: trees on LLX/SCX (BST, Patricia, chromatic) vs locked "
               "std::map, %d ms per cell\n\n", bench::phase_millis());
   std::vector<CellResult> cells;
@@ -214,13 +214,12 @@ void run(const char* json_path) {
               "numbers).\n");
 
   Epoch::drain_all_for_testing();
-  if (json_path != nullptr) emit_json(json_path, cells);
+  return json_path == nullptr || emit_json(json_path, cells);
 }
 
 }  // namespace
 }  // namespace llxscx
 
 int main(int argc, char** argv) {
-  llxscx::run(llxscx::bench::parse_json_flag(argc, argv));
-  return 0;
+  return llxscx::run(llxscx::bench::parse_json_flag(argc, argv)) ? 0 : 1;
 }

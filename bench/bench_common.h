@@ -65,7 +65,10 @@ struct PhaseResult {
 
 // Runs `worker(thread_index, stop_flag)` on `threads` threads for
 // `phase_millis()` ms after a common start line; the worker returns its
-// completed-operation count.
+// completed-operation count. Timing convention: `seconds` spans start line
+// to the stop-flag flip — NOT to the joins — so each worker's post-stop
+// drain (its final in-flight op and stats snapshot) can't inflate the
+// denominator and deflate the reported ops/s.
 inline PhaseResult run_phase(
     int threads,
     const std::function<std::uint64_t(int, const std::atomic<bool>&)>& worker) {
@@ -86,8 +89,8 @@ inline PhaseResult run_phase(
   const auto start = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(std::chrono::milliseconds(phase_millis()));
   stop.store(true);
-  for (auto& th : pool) th.join();
   const auto end = std::chrono::steady_clock::now();
+  for (auto& th : pool) th.join();
 
   PhaseResult r;
   r.seconds = std::chrono::duration<double>(end - start).count();
@@ -106,7 +109,11 @@ class Table {
   void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
   void print() const {
-    std::vector<std::size_t> width(headers_.size());
+    // Size the width table to the WIDEST row, not just the header: a row
+    // with extra trailing cells must widen the table, not write past it.
+    std::size_t columns = headers_.size();
+    for (const auto& row : rows_) columns = std::max(columns, row.size());
+    std::vector<std::size_t> width(columns, 0);
     for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
     for (const auto& row : rows_) {
       for (std::size_t c = 0; c < row.size(); ++c) {
@@ -128,7 +135,7 @@ class Table {
                         const std::vector<std::size_t>& width) {
     std::string line;
     for (std::size_t c = 0; c < cells.size(); ++c) {
-      std::string cell = c < cells.size() ? cells[c] : "";
+      std::string cell = cells[c];
       cell.resize(width[c], ' ');
       line += cell;
       if (c + 1 < width.size()) line += " | ";
@@ -154,11 +161,12 @@ inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 // build config + rows array) cannot drift apart between binaries.
 
 // Parses the single supported flag `--json=<file>`. Returns the path (or
-// nullptr when absent); prints usage and exits 2 on anything else.
+// nullptr when absent); prints usage and exits 2 on anything else,
+// including an empty `--json=` path (which would otherwise fopen("")).
 inline const char* parse_json_flag(int argc, char** argv) {
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0 && argv[i][7] != '\0') {
       path = argv[i] + 7;
     } else {
       std::fprintf(stderr, "usage: %s [--json=<file>]\n", argv[0]);
@@ -170,31 +178,41 @@ inline const char* parse_json_flag(int argc, char** argv) {
 
 // Writes {"bench": name, "config": {...}, "rows": [...]} to `path`.
 // `row_fn(f, i)` prints the i-th row object only — indentation and the
-// between-row comma are the envelope's job.
+// between-row comma are the envelope's job. Returns false (after printing
+// a diagnostic) if the file cannot be opened or any write fails — callers
+// must propagate that to a nonzero exit so a truncated BENCH_*.json (full
+// disk, bad path) fails CI instead of silently corrupting the trajectory.
 template <class RowFn>
-void emit_json_envelope(const char* path, const char* name,
-                        std::size_t row_count, RowFn row_fn) {
+[[nodiscard]] bool emit_json_envelope(const char* path, const char* name,
+                                      std::size_t row_count, RowFn row_fn) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "%s: cannot open %s for writing\n", name, path);
-    return;
+    return false;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"%s\",\n"
-               "  \"config\": {\"relaxed_orders\": %s, \"count_steps\": %s, "
-               "\"phase_ms\": %d},\n"
-               "  \"rows\": [\n",
-               name, kRelaxedOrders ? "true" : "false",
-               kStepCounting ? "true" : "false", phase_millis());
+  bool ok =
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"%s\",\n"
+                   "  \"config\": {\"relaxed_orders\": %s, \"count_steps\": %s, "
+                   "\"phase_ms\": %d},\n"
+                   "  \"rows\": [\n",
+                   name, kRelaxedOrders ? "true" : "false",
+                   kStepCounting ? "true" : "false", phase_millis()) >= 0;
   for (std::size_t i = 0; i < row_count; ++i) {
-    std::fprintf(f, "    ");
+    ok = ok && std::fprintf(f, "    ") >= 0;
     row_fn(f, i);
-    std::fprintf(f, "%s\n", i + 1 < row_count ? "," : "");
+    ok = ok && std::fprintf(f, "%s\n", i + 1 < row_count ? "," : "") >= 0;
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  ok = ok && std::fprintf(f, "  ]\n}\n") >= 0;
+  ok = std::ferror(f) == 0 && ok;  // catch row_fn's own fprintf failures
+  ok = std::fclose(f) == 0 && ok;  // fclose flushes; a full disk fails here
+  if (!ok) {
+    std::fprintf(stderr, "%s: error writing %s\n", name, path);
+    return false;
+  }
   std::printf("\nwrote %s\n", path);
+  return true;
 }
 
 }  // namespace llxscx::bench

@@ -1,0 +1,155 @@
+// E10 — hash-map growth: non-blocking resize under load (DESIGN.md §9).
+//
+// Two phases per thread count:
+//   grow    Start from an EMPTY 1-BUCKET map. Writer threads insert a
+//           dense ascending key stream while reader threads get() random
+//           already-inserted keys; every doubling happens live, migrated
+//           cooperatively by the writers themselves. The row reports the
+//           final occupancy — the claim under test is that max_bucket
+//           stays a small constant (≤ kStallChainLen) no matter how many
+//           keys arrive, i.e. the trigger + migration keep up with the
+//           insert stream end to end.
+//   steady  A mixed upsert/get/erase workload over a fixed key range on a
+//           pre-grown map: the post-resize throughput shape, with growth
+//           long finished (buckets stable across the phase).
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ds/hashmap_llxscx.h"
+#include "util/random.h"
+
+namespace llxscx {
+namespace {
+
+struct CellResult {
+  const char* phase = "";
+  int threads = 0;
+  double ops_per_sec = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t buckets = 0;
+  std::uint64_t max_bucket = 0;
+  double load_factor = 0;
+};
+
+// Ascending inserts from a shared counter (writers) + random get()s below
+// the counter (readers, every 4th thread when there are at least 4).
+CellResult grow_cell(int threads) {
+  LlxScxHashMap m(1);
+  std::atomic<std::uint64_t> next{1};
+  const auto r = bench::run_phase(
+      threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
+        const bool reader = threads >= 4 && t % 4 == 3;
+        Xoshiro256 rng(90 + t);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (reader) {
+            const std::uint64_t hi = next.load(std::memory_order_relaxed);
+            m.get(1 + rng.below(hi));
+          } else {
+            const std::uint64_t k = next.fetch_add(1, std::memory_order_relaxed);
+            m.upsert(k, k);
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  const HashMapOccupancy o = m.occupancy();
+  CellResult c;
+  c.phase = "grow";
+  c.threads = threads;
+  c.ops_per_sec = r.ops_per_sec();
+  c.keys = o.items;
+  c.buckets = o.buckets;
+  c.max_bucket = o.max_bucket;
+  c.load_factor = o.load_factor;
+  return c;
+}
+
+CellResult steady_cell(int threads) {
+  constexpr std::uint64_t kRange = 1 << 16;
+  LlxScxHashMap m(1);
+  for (std::uint64_t k = 1; k <= kRange; k += 2) m.upsert(k, k);  // grow first
+  const auto r = bench::run_phase(
+      threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
+        Xoshiro256 rng(140 + t);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = 1 + rng.below(kRange);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 15) {
+            m.upsert(key, key);
+          } else if (dice < 30) {
+            m.erase(key);
+          } else {
+            m.get(key);
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  const HashMapOccupancy o = m.occupancy();
+  CellResult c;
+  c.phase = "steady";
+  c.threads = threads;
+  c.ops_per_sec = r.ops_per_sec();
+  c.keys = o.items;
+  c.buckets = o.buckets;
+  c.max_bucket = o.max_bucket;
+  c.load_factor = o.load_factor;
+  return c;
+}
+
+bool emit_json(const char* path, const std::vector<CellResult>& cells) {
+  return bench::emit_json_envelope(
+      path, "bench_hashmap", cells.size(), [&](std::FILE* f, std::size_t i) {
+        const CellResult& c = cells[i];
+        std::fprintf(
+            f,
+            "{\"phase\": \"%s\", \"threads\": %d, \"ops_per_sec\": %.0f, "
+            "\"keys\": %llu, \"buckets\": %llu, \"max_bucket\": %llu, "
+            "\"load_factor\": %.3f}",
+            c.phase, c.threads, c.ops_per_sec,
+            static_cast<unsigned long long>(c.keys),
+            static_cast<unsigned long long>(c.buckets),
+            static_cast<unsigned long long>(c.max_bucket), c.load_factor);
+      });
+}
+
+bool run(const char* json_path) {
+  std::printf("E10: hash-map non-blocking resize — grow from 1 bucket under "
+              "load, then steady-state mixed ops; %d ms per cell\n",
+              bench::phase_millis());
+  std::printf("claim: max bucket stays <= %zu (the backpressure bound) "
+              "through every doubling\n\n",
+              LlxScxHashMap::kStallChainLen);
+
+  std::vector<CellResult> cells;
+  bench::Table t({"phase", "threads", "ops/s", "keys", "buckets",
+                  "max bucket", "load"});
+  for (int threads : bench::thread_grid({1, 2, 4})) {
+    cells.push_back(grow_cell(threads));
+    cells.push_back(steady_cell(threads));
+  }
+  for (const CellResult& c : cells) {
+    t.add_row({c.phase, std::to_string(c.threads),
+               bench::fmt(c.ops_per_sec / 1e6, 3) + "M", bench::fmt_u64(c.keys),
+               bench::fmt_u64(c.buckets), bench::fmt_u64(c.max_bucket),
+               bench::fmt(c.load_factor, 2)});
+  }
+  t.print();
+  std::printf("\nnote: 'grow' rows start from a single bucket; 'buckets' is "
+              "the table size the insert stream forced. A 'max bucket' above "
+              "%zu would mean migration fell behind the writers.\n",
+              LlxScxHashMap::kStallChainLen);
+  Epoch::drain_all_for_testing();
+  return json_path == nullptr || emit_json(json_path, cells);
+}
+
+}  // namespace
+}  // namespace llxscx
+
+int main(int argc, char** argv) {
+  return llxscx::run(llxscx::bench::parse_json_flag(argc, argv)) ? 0 : 1;
+}

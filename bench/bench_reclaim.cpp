@@ -86,8 +86,8 @@ CellResult run_cell(int threads) {
   return res;
 }
 
-void emit_json(const char* path, const std::vector<CellResult>& cells) {
-  bench::emit_json_envelope(
+bool emit_json(const char* path, const std::vector<CellResult>& cells) {
+  return bench::emit_json_envelope(
       path, "bench_reclaim", cells.size(), [&](std::FILE* f, std::size_t i) {
         const CellResult& c = cells[i];
         std::fprintf(
@@ -104,7 +104,7 @@ void emit_json(const char* path, const std::vector<CellResult>& cells) {
       });
 }
 
-void run(const char* json_path) {
+bool run(const char* json_path) {
   std::printf("E8: reclamation policy ablation — erase-heavy multiset churn, "
               "%d ms per row (orders: %s)\n",
               bench::phase_millis(), kRelaxedOrders ? "relaxed" : "seq_cst");
@@ -133,13 +133,12 @@ void run(const char* json_path) {
               "freed (unbounded footprint in a long-running process). "
               "'pool' frees at thread exit; its drained blocks sit in "
               "per-thread free lists, not the allocator.\n");
-  if (json_path != nullptr) emit_json(json_path, cells);
+  return json_path == nullptr || emit_json(json_path, cells);
 }
 
 }  // namespace
 }  // namespace llxscx
 
 int main(int argc, char** argv) {
-  llxscx::run(llxscx::bench::parse_json_flag(argc, argv));
-  return 0;
+  return llxscx::run(llxscx::bench::parse_json_flag(argc, argv)) ? 0 : 1;
 }

@@ -15,7 +15,13 @@
 //                        (Proposition 2: no LLX, no CAS).
 //   size()             — element count by traversal. Exact only when
 //                        quiescent; under concurrency it is a snapshot of
-//                        one serialization of the traversal.
+//                        one serialization of the traversal. Whole-
+//                        structure walks (size(), the hash map's
+//                        occupancy()) re-enter their reclamation Guard
+//                        per segment — a single guard held across a
+//                        multi-million-node walk would pin the epoch and
+//                        stall every other thread's reclamation
+//                        (DESIGN.md §10 rule 1).
 //   kName              — stable identifier for tables and logs.
 //
 // StepCounts hooks: every conforming container routes ALL of its shared

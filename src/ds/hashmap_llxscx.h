@@ -1,9 +1,10 @@
-// Hash map on LLX/SCX (E9): a fixed power-of-two array of buckets, each a
-// Fig. 6-style sorted singly linked list of immutable ⟨key, value⟩
-// Data-records (head sentinel → nodes → tail sentinel), driven through
-// the ScxOp builder. Updates in distinct buckets have disjoint V-sets, so
-// by claim C-D they never interfere — the array is what turns the list's
-// contention profile into a scalable map.
+// Hash map on LLX/SCX (E9) with NON-BLOCKING RESIZE: a power-of-two array
+// of buckets, each a Fig. 6-style sorted singly linked list of immutable
+// ⟨key, value⟩ Data-records (head sentinel → items → tail sentinel), driven
+// through the ScxOp builder. Updates in distinct buckets have disjoint
+// V-sets, so by claim C-D they never interfere — and the same disjointness
+// is what makes the resize migration cooperative: every bucket migrates
+// independently, in parallel, through its own small SCXs.
 //
 // Shapes per bucket (identical to the multiset's, DESIGN.md §6/§9):
 //   upsert, key absent  — SCX(V=⟨pred⟩,             R=∅,           pred.next ← n)        k=1
@@ -14,10 +15,58 @@
 // node (fresh copy with the new value, old one finalized + retired), the
 // same discipline that keeps every installed pointer fresh everywhere
 // else in this repo. get()/contains() traverse with plain reads
-// (Proposition 2). The bucket count is fixed at construction — resizing
-// is a different paper.
+// (Proposition 2).
+//
+// ---- Resize (DESIGN.md §9, "bucket migration") --------------------------
+//
+// The map holds an atomic pointer to a Table descriptor {heads, mask,
+// next, cursor, migrated}. A growth is triggered on the UPDATE path: when
+// an update's bucket walk exceeds kResizeChainLen nodes (the occupancy
+// signal, measured with the traversal reads the walk already performs), it
+// publishes a double-size Table into table->next with one CAS and starts
+// migrating. Each bucket then moves through three states:
+//
+//   LIVE      head → items… → tail           (normal operation)
+//   SEALED    head → M → frozen items… → tail
+//             One seal SCX: V = ⟨head, every chain item⟩ — ALL finalized
+//             via ScxOp::seal() (frozen forever, NOT retired) — installing
+//             a fresh kMoved marker M as head.next, M.next = old first.
+//             Freezing the whole chain is what makes the seal airtight:
+//             any straggling update's V intersects it, so the straggler's
+//             SCX fails (claim C-A). The frozen chain stays reachable and
+//             is still the bucket's authoritative content.
+//   MIGRATED  head → M → D (kDone marker)
+//             Helpers copy each frozen ⟨key,value⟩ into the next table
+//             with an insert-if-absent SCX whose V INCLUDES M (k=2:
+//             ⟨M, pred⟩) — so a stalled helper's late copy atomically
+//             fails once the bucket is finished, and can never resurrect
+//             a key that a newer, routed erase already removed. The
+//             finish SCX (V=⟨M⟩, M.next ← D) then commits exactly once;
+//             its winner retires the frozen chain + old tail.
+//
+// Updates that meet a SEALED bucket first drive it to MIGRATED, then
+// operate on the next table; every update during a resize also migrates a
+// small claimed stride of buckets (Table::cursor), so the resize is
+// cooperative and finishes even if the initiating thread dies. Readers
+// never help: a get() on a SEALED bucket reads the frozen chain (its load
+// of M.next is the linearization point — no update to those keys can
+// commit anywhere before the finish SCX), and on a MIGRATED bucket hops
+// to the next table. When every bucket is MIGRATED, table_ swaps to the
+// next table and the winner retires the old heads, markers, and
+// descriptor through the Reclaim policy (stale readers stay safe under
+// their epoch guards). A table only triggers its own growth while it IS
+// table_, so at most one migration is in flight per table generation and
+// the next table's buckets are never sealed while copies into them run.
+//
+// Backpressure: an update whose walk exceeds kStallChainLen refuses to
+// lengthen the chain — it seals + migrates its bucket instead and inserts
+// into the next table. Chains at seal time are therefore bounded by
+// kStallChainLen plus in-flight inserts, comfortably under the seal SCX's
+// V capacity (ScxRecord::kMaxV − 1; the seal re-walks if ever exceeded).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <utility>
@@ -30,12 +79,13 @@
 
 namespace llxscx {
 
-// Per-bucket occupancy snapshot (ReclaimStats-style plain counters, no
-// shared steps beyond the traversal reads). Groundwork for the still-open
-// non-blocking resize: the trigger policy will read exactly these numbers,
-// and test_containers asserts the max-bucket bound the fixed Fibonacci
-// spread is supposed to deliver. Exact when quiescent, a consistent-ish
-// estimate under concurrency (like size()).
+// Occupancy snapshot (per-bucket chain profile). Exact when quiescent; a
+// consistent-ish estimate under concurrency (like size()) — during a
+// migration a bucket's keys may be counted from the frozen chain or from
+// the next table's split buckets, whichever is authoritative when the
+// walk reaches it. The walk re-enters its reclamation guard per bucket so
+// a multi-million-key scan never pins the epoch across the whole table
+// (that would stall every other thread's reclamation).
 struct HashMapOccupancy {
   std::size_t buckets = 0;
   std::size_t items = 0;
@@ -47,18 +97,34 @@ struct HashMapOccupancy {
 struct HashMapNode : DataRecord<1> {
   static constexpr std::size_t kNext = 0;
 
+  // kItem  — a ⟨key, value⟩ element.
+  // kTail  — per-bucket end-of-chain sentinel (never null-terminated).
+  // kMoved — bucket seal marker: installed as head.next by the seal SCX;
+  //          its mutable next points at the frozen chain until the finish
+  //          SCX redirects it to a kDone marker.
+  // kDone  — bucket fully migrated: operations route to the next table.
+  enum Kind : std::uint8_t { kItem = 0, kTail = 1, kMoved = 2, kDone = 3 };
+
   struct TailTag {};
+  struct MovedTag {};
+  struct DoneTag {};
 
   HashMapNode(std::uint64_t k, std::uint64_t v, HashMapNode* n)
-      : key(k), value(v), tail(false) {
+      : key(k), value(v), kind(kItem) {
     mut(kNext).store(reinterpret_cast<std::uint64_t>(n),
                      std::memory_order_relaxed);
   }
-  explicit HashMapNode(TailTag) : key(0), value(0), tail(true) {}
+  explicit HashMapNode(TailTag) : key(0), value(0), kind(kTail) {}
+  HashMapNode(MovedTag, HashMapNode* frozen_first)
+      : key(0), value(0), kind(kMoved) {
+    mut(kNext).store(reinterpret_cast<std::uint64_t>(frozen_first),
+                     std::memory_order_relaxed);
+  }
+  explicit HashMapNode(DoneTag) : key(0), value(0), kind(kDone) {}
 
   const std::uint64_t key;
   const std::uint64_t value;
-  const bool tail;  // per-bucket end-of-list sentinel
+  const Kind kind;
 };
 
 template <class Reclaim = EbrManager>
@@ -68,25 +134,46 @@ class BasicLlxScxHashMap {
   using Domain = LlxScxDomain<Reclaim>;
   static constexpr const char* kName = "llxscx-hashmap";
 
-  // `buckets` is rounded up to a power of two (minimum 1).
+  // Resize tuning (see the header comment). All are chain-length /
+  // load-factor constants, not timings. The trigger needs BOTH a long
+  // walk and a high table-wide load factor: chain length alone over-grows
+  // badly — at any load a Poisson-tail bucket eventually shows a long
+  // chain, and doubling on that signal alone walks the table out to load
+  // factor ≈ 1 (millions of near-empty buckets). The backpressure path is
+  // the exception: a kStallChainLen walk forces a doubling regardless of
+  // load, as the safety valve that keeps chains under the seal capacity.
+  static constexpr std::size_t kResizeChainLen = 8;   // growth trigger walk
+  static constexpr std::size_t kGrowLoadFactor = 4;   // items per bucket
+  static constexpr std::size_t kStallChainLen = 24;   // insert backpressure
+  static constexpr std::size_t kMigrationStride = 8;  // buckets helped per op
+  static constexpr std::size_t kSealMaxChain = ScxRecord::kMaxV - 1;
+
+  // `buckets` is rounded up to a power of two (minimum 1). A 1-bucket map
+  // is fully supported: growth doubles it on demand.
   explicit BasicLlxScxHashMap(std::size_t buckets = 1024) {
-    std::size_t b = 1;
-    while (b < buckets) b <<= 1;
-    mask_ = b - 1;
-    heads_.reserve(b);
-    for (std::size_t i = 0; i < b; ++i) {
-      heads_.push_back(Domain::template make_record<Node>(
-          0, 0, Domain::template make_record<Node>(Node::TailTag{})));
-    }
+    table_.store(make_table(buckets), mo::relaxed);
   }
   ~BasicLlxScxHashMap() {
-    for (Node* head : heads_) {
-      Node* cur = head;
-      while (cur != nullptr) {
-        Node* next = cur->tail ? nullptr : next_of(cur);
-        Domain::reclaim_now(cur);
-        cur = next;
+    // Quiescent teardown: walk every reachable node of every table
+    // generation still linked from table_ (mid-migration teardown sees
+    // head → M → frozen chain → tail and frees all of it; nodes already
+    // retired by a finish SCX are unreachable here and drain through the
+    // epoch as usual).
+    Table* t = table_.load(mo::relaxed);
+    while (t != nullptr) {
+      for (Node* head : t->heads) {
+        Node* cur = head;
+        while (cur != nullptr) {
+          Node* next = (cur->kind == Node::kTail || cur->kind == Node::kDone)
+                           ? nullptr
+                           : next_of(cur);
+          Domain::reclaim_now(cur);
+          cur = next;
+        }
       }
+      Table* nt = t->next.load(mo::relaxed);
+      delete t;
+      t = nt;
     }
   }
   BasicLlxScxHashMap(const BasicLlxScxHashMap&) = delete;
@@ -95,28 +182,60 @@ class BasicLlxScxHashMap {
   // Insert-or-assign; returns true iff the key was newly inserted.
   bool upsert(std::uint64_t key, std::uint64_t value) {
     typename Domain::Guard g;
-    Node* const head = heads_[bucket_of(key)];
+    Table* t = table_.load(mo::acquire);
     for (;;) {
-      Node* pred = locate(head, key);
+      const std::size_t b = bucket_of(key, t->mask);
+      Node* const head = t->heads[b];
+      Node* first = next_of(head);
+      if (first->kind == Node::kMoved) {
+        t = route(t, b);
+        continue;
+      }
+      Node* pred = head;
+      Node* cur = first;
+      std::size_t walked = 0;
+      while (cur->kind == Node::kItem && cur->key < key) {
+        pred = cur;
+        cur = next_of(cur);
+        ++walked;
+      }
+      if (walked >= kStallChainLen) {
+        // Backpressure: never lengthen a chain this long — grow instead,
+        // migrate this bucket, and insert into the next table.
+        grow(t);
+        t = route(t, b);
+        continue;
+      }
       auto lp = llx(pred);
       if (!lp.ok()) continue;
-      Node* cur = to_node(lp.field(Node::kNext));
-      if (!cur->tail && cur->key < key) continue;  // stale position
-      if (!cur->tail && cur->key == key) {
-        auto lc = llx(cur);
+      Node* lcur = to_node(lp.field(Node::kNext));
+      if (lcur->kind == Node::kItem && lcur->key < key) continue;  // stale
+      if (lcur->kind == Node::kMoved) {  // sealed since the walk
+        t = route(t, b);
+        continue;
+      }
+      if (lcur->kind == Node::kItem && lcur->key == key) {
+        auto lc = llx(lcur);
         if (!lc.ok()) continue;
         ScxOp<Node, Reclaim> op;
         op.link(lp);
         op.remove(lc);  // value change = node replacement (see header)
         auto repl = op.freshly(key, value, to_node(lc.field(Node::kNext)));
         op.write(pred, Node::kNext, repl);
-        if (op.commit()) return false;
+        if (op.commit()) {
+          after_update(t, walked);
+          return false;
+        }
       } else {
         ScxOp<Node, Reclaim> op;
         op.link(lp);
-        auto n = op.freshly(key, value, cur);
+        auto n = op.freshly(key, value, lcur);
         op.write(pred, Node::kNext, n);
-        if (op.commit()) return true;
+        if (op.commit()) {
+          t->items.fetch_add(1, mo::relaxed);
+          after_update(t, walked + 1);
+          return true;
+        }
       }
     }
   }
@@ -124,14 +243,35 @@ class BasicLlxScxHashMap {
   // Removes key if present; returns whether it was removed.
   bool erase(std::uint64_t key) {
     typename Domain::Guard g;
-    Node* const head = heads_[bucket_of(key)];
+    Table* t = table_.load(mo::acquire);
     for (;;) {
-      Node* pred = locate(head, key);
+      const std::size_t b = bucket_of(key, t->mask);
+      Node* const head = t->heads[b];
+      Node* first = next_of(head);
+      if (first->kind == Node::kMoved) {
+        t = route(t, b);
+        continue;
+      }
+      Node* pred = head;
+      Node* cur = first;
+      std::size_t walked = 0;
+      while (cur->kind == Node::kItem && cur->key < key) {
+        pred = cur;
+        cur = next_of(cur);
+        ++walked;
+      }
       auto lp = llx(pred);
       if (!lp.ok()) continue;
-      Node* cur = to_node(lp.field(Node::kNext));
-      if (!cur->tail && cur->key < key) continue;
-      if (cur->tail || cur->key != key) return false;
+      cur = to_node(lp.field(Node::kNext));
+      if (cur->kind == Node::kItem && cur->key < key) continue;
+      if (cur->kind == Node::kMoved) {
+        t = route(t, b);
+        continue;
+      }
+      if (cur->kind != Node::kItem || cur->key != key) {
+        after_update(t, walked);
+        return false;
+      }
       auto lc = llx(cur);
       if (!lc.ok()) continue;
       Node* succ = to_node(lc.field(Node::kNext));
@@ -141,20 +281,40 @@ class BasicLlxScxHashMap {
       op.link(lp);
       op.remove(lc);
       op.remove(ls);  // full-delete shape: successor copied, never re-linked
-      auto repl = succ->tail ? op.freshly(Node::TailTag{})
-                             : op.freshly(succ->key, succ->value,
-                                          to_node(ls.field(Node::kNext)));
+      auto repl = succ->kind == Node::kTail
+                      ? op.freshly(Node::TailTag{})
+                      : op.freshly(succ->key, succ->value,
+                                   to_node(ls.field(Node::kNext)));
       op.write(pred, Node::kNext, repl);
-      if (op.commit()) return true;
+      if (op.commit()) {
+        t->items.fetch_sub(1, mo::relaxed);
+        after_update(t, walked);
+        return true;
+      }
     }
   }
 
   std::optional<std::uint64_t> get(std::uint64_t key) const {
     typename Domain::Guard g;
-    const Node* cur = next_of(heads_[bucket_of(key)]);
-    while (!cur->tail && cur->key < key) cur = next_of(cur);
-    if (!cur->tail && cur->key == key) return cur->value;
-    return std::nullopt;
+    const Table* t = table_.load(mo::acquire);
+    for (;;) {
+      const Node* cur = next_of(t->heads[bucket_of(key, t->mask)]);
+      if (cur->kind == Node::kMoved) {
+        // This load of M.next is the linearization point for a sealed
+        // bucket: while it still names the frozen chain, no update to the
+        // bucket's keys can have committed anywhere (updates must first
+        // drive the finish SCX, which changes M.next).
+        const Node* fc = next_of(cur);
+        if (fc->kind == Node::kDone) {
+          t = t->next.load(mo::acquire);
+          continue;
+        }
+        cur = fc;
+      }
+      while (cur->kind == Node::kItem && cur->key < key) cur = next_of(cur);
+      if (cur->kind == Node::kItem && cur->key == key) return cur->value;
+      return std::nullopt;
+    }
   }
 
   // Unified container interface (DESIGN.md §9).
@@ -164,33 +324,35 @@ class BasicLlxScxHashMap {
   bool contains(std::uint64_t key) const { return get(key).has_value(); }
 
   std::size_t size() const {
-    typename Domain::Guard g;
     std::size_t n = 0;
-    for (const Node* head : heads_) {
-      for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
-        ++n;
-      }
-    }
+    for_each_bucket([&](std::size_t chain) { n += chain; },
+                    [](const Node*) {});
     return n;
   }
 
-  std::size_t bucket_count() const { return heads_.size(); }
-
-  // Walk every bucket and report the occupancy profile (see
-  // HashMapOccupancy above). Plain reads under one guard.
-  HashMapOccupancy occupancy() const {
+  std::size_t bucket_count() const {
     typename Domain::Guard g;
+    return table_.load(mo::acquire)->heads.size();
+  }
+
+  // Walk every bucket and report the occupancy profile. One guard PER
+  // BUCKET (not across the walk): at millions of keys a single guard
+  // would pin the epoch long enough to stall reclamation for every
+  // thread. The result was always documented as an estimate under
+  // concurrency; per-bucket guards keep exactly that contract.
+  HashMapOccupancy occupancy() const {
     HashMapOccupancy o;
-    o.buckets = heads_.size();
-    for (const Node* head : heads_) {
-      std::size_t chain = 0;
-      for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
-        ++chain;
-      }
-      o.items += chain;
-      if (chain > 0) ++o.nonempty_buckets;
-      if (chain > o.max_bucket) o.max_bucket = chain;
+    {
+      typename Domain::Guard g;
+      o.buckets = table_.load(mo::acquire)->heads.size();
     }
+    for_each_bucket(
+        [&](std::size_t chain) {
+          o.items += chain;
+          if (chain > 0) ++o.nonempty_buckets;
+          o.max_bucket = std::max(o.max_bucket, chain);
+        },
+        [](const Node*) {});
     o.load_factor =
         static_cast<double>(o.items) / static_cast<double>(o.buckets);
     return o;
@@ -199,15 +361,27 @@ class BasicLlxScxHashMap {
   // All ⟨key, value⟩ pairs, bucket by bucket. Quiescent callers only.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
-    for (const Node* head : heads_) {
-      for (const Node* cur = next_of(head); !cur->tail; cur = next_of(cur)) {
-        out.emplace_back(cur->key, cur->value);
-      }
-    }
+    for_each_bucket([](std::size_t) {},
+                    [&](const Node* n) { out.emplace_back(n->key, n->value); });
     return out;
   }
 
  private:
+  // Table descriptor: one generation of the bucket array plus the
+  // migration state toward the next. Reachable from table_ (current) and
+  // from older generations' next pointers until their swap retires them.
+  struct Table {
+    std::vector<Node*> heads;
+    std::size_t mask = 0;
+    std::atomic<Table*> next{nullptr};      // double-size successor
+    std::atomic<std::size_t> cursor{0};     // next stride claim (may pass n)
+    std::atomic<std::size_t> migrated{0};   // buckets whose finish committed
+    // Approximate item count (relaxed, maintained by committed updates and
+    // migration copies) — the load-factor half of the growth trigger.
+    // Signed: racing erase/insert accounting may transiently skew it.
+    std::atomic<std::int64_t> items{0};
+  };
+
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {
     Stats::count_read();
@@ -216,27 +390,287 @@ class BasicLlxScxHashMap {
     return to_node(n->mut(Node::kNext).load(mo::acquire));
   }
 
-  std::size_t bucket_of(std::uint64_t key) const {
+  static std::size_t bucket_of(std::uint64_t key, std::size_t mask) {
     // Fibonacci multiplicative spread so dense small-integer key sets
     // (every bench and test) don't pile into the low buckets.
     return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
-           mask_;
+           mask;
   }
 
-  // Plain-read search within one bucket for the last node with key' < key
-  // (possibly the bucket's head sentinel), exactly like the multiset's.
-  Node* locate(Node* head, std::uint64_t key) const {
-    const Node* pred = head;
-    const Node* cur = next_of(pred);
-    while (!cur->tail && cur->key < key) {
-      pred = cur;
-      cur = next_of(cur);
+  Table* make_table(std::size_t buckets) const {
+    std::size_t b = 1;
+    while (b < buckets) b <<= 1;
+    Table* t = new Table;
+    t->mask = b - 1;
+    t->heads.reserve(b);
+    for (std::size_t i = 0; i < b; ++i) {
+      t->heads.push_back(Domain::template make_record<Node>(
+          0, 0, Domain::template make_record<Node>(Node::TailTag{})));
     }
-    return const_cast<Node*>(pred);
+    return t;
   }
 
-  std::size_t mask_ = 0;
-  std::vector<Node*> heads_;  // fixed after construction; owned
+  void free_table_now(Table* t) const {
+    for (Node* head : t->heads) {
+      Domain::reclaim_now(next_of(head));  // the tail — never published
+      Domain::reclaim_now(head);
+    }
+    delete t;
+  }
+
+  // --- migration machinery ----------------------------------------------
+
+  // Publish a double-size successor for t (no-op if one exists or t is no
+  // longer current), then help migrate.
+  void grow(Table* t) {
+    if (t->next.load(mo::acquire) == nullptr &&
+        table_.load(mo::relaxed) == t) {
+      Table* fresh = make_table((t->mask + 1) * 2);
+      Table* expected = nullptr;
+      // release: publishes the fresh heads before any helper can route
+      // into them.
+      if (!t->next.compare_exchange_strong(expected, fresh, mo::acq_rel,
+                                           mo::acquire)) {
+        free_table_now(fresh);  // lost the initiation race
+      }
+    }
+    help_migrate(t);
+  }
+
+  // Called after every committed update: helps an in-flight migration
+  // along, or triggers one when this op's bucket walk crossed the
+  // threshold AND the table-wide load factor warrants doubling. Loads
+  // only on the fast path — the pinned per-op SCX shapes are untouched.
+  void after_update(Table* t, std::size_t walked) {
+    if (t->next.load(mo::acquire) != nullptr) {
+      help_migrate(t);
+    } else if (walked >= kResizeChainLen &&
+               t->items.load(mo::relaxed) >=
+                   static_cast<std::int64_t>((t->mask + 1) * kGrowLoadFactor)) {
+      grow(t);
+    }
+  }
+
+  // The sealed-bucket path: drive bucket b of t to MIGRATED, help a
+  // stride, and hand back the next table to retry the operation on.
+  Table* route(Table* t, std::size_t b) {
+    migrate_bucket(t, b);
+    help_migrate(t);
+    return t->next.load(mo::acquire);
+  }
+
+  // Claim and migrate a stride of buckets; once the cursor is exhausted,
+  // sweep for buckets whose claimer stalled, so the resize completes as
+  // long as ANY thread keeps updating (lock-free cooperative finish).
+  void help_migrate(Table* t) {
+    if (t->next.load(mo::acquire) == nullptr) return;
+    const std::size_t n = t->heads.size();
+    if (t->cursor.load(mo::relaxed) < n) {
+      const std::size_t start = t->cursor.fetch_add(kMigrationStride,
+                                                    mo::relaxed);
+      const std::size_t end = std::min(start + kMigrationStride, n);
+      for (std::size_t b = start; b < end; ++b) migrate_bucket(t, b);
+    } else if (t->migrated.load(mo::acquire) < n) {
+      for (std::size_t b = 0; b < n; ++b) {
+        if (t->migrated.load(mo::relaxed) == n) break;
+        migrate_bucket(t, b);
+      }
+    }
+    if (t->migrated.load(mo::acquire) == n) finish_table(t);
+  }
+
+  // Drive bucket b of t from LIVE through SEALED to MIGRATED (idempotent;
+  // any number of helpers may run it concurrently).
+  void migrate_bucket(Table* t, std::size_t b) {
+    Table* nt = t->next.load(mo::acquire);
+    if (nt == nullptr) return;
+    Node* const head = t->heads[b];
+    for (;;) {
+      Node* first = next_of(head);
+      if (first->kind != Node::kMoved) {
+        seal_bucket(head);
+        continue;  // re-read: now head.next is a kMoved marker
+      }
+      Node* const m = first;
+      auto lm = llx(m);
+      if (!lm.ok()) continue;  // a finish SCX is in flight; llx helped it
+      Node* const fc = to_node(lm.field(Node::kNext));
+      if (fc->kind == Node::kDone) return;  // MIGRATED
+      // Copy the frozen chain into the next table. Every copy's V
+      // includes M, so copies atomically stop competing the instant the
+      // finish SCX commits — a stalled helper can never resurrect a key
+      // that a routed erase already removed from the next table.
+      bool finished = false;
+      for (Node* n = fc; n->kind == Node::kItem; n = next_of(n)) {
+        if (!copy_into_next(nt, m, n->key, n->value)) {
+          finished = true;  // bucket finished under us
+          break;
+        }
+      }
+      if (finished) return;
+      // Finish: M.next ← fresh kDone marker. Exactly one commit wins.
+      ScxOp<Node, Reclaim> op;
+      op.link(lm);
+      auto d = op.freshly(Node::DoneTag{});
+      op.write(m, Node::kNext, d);
+      if (op.commit()) {
+        // The winner — and only the winner — retires the frozen chain
+        // (items + the bucket's old tail), exactly once. Stale readers
+        // still walking it are protected by their epoch guards.
+        Node* n = fc;
+        while (n->kind == Node::kItem) {
+          Node* nx = next_of(n);
+          Domain::retire_record(n);
+          n = nx;
+        }
+        Domain::retire_record(n);  // the frozen chain's tail sentinel
+        // acq_rel: the count is the swap gate — the winner of the last
+        // bucket must observe every other finish before retiring heads.
+        if (t->migrated.fetch_add(1, mo::acq_rel) + 1 == t->heads.size()) {
+          finish_table(t);
+        }
+        return;
+      }
+      // Lost the finish race; the next iteration observes kDone.
+    }
+  }
+
+  // One seal SCX: freeze head + the whole chain (seal(): finalize, no
+  // retire) and install a fresh kMoved marker. Returns with the bucket
+  // sealed by us or someone else.
+  void seal_bucket(Node* head) {
+    for (;;) {
+      auto lh = llx(head);
+      if (lh.is_finalized()) return;  // sealed by another thread
+      if (!lh.ok()) continue;
+      Node* const first = to_node(lh.field(Node::kNext));
+      if (first->kind == Node::kMoved) return;
+      ScxOp<Node, Reclaim> op;
+      op.seal(lh);
+      bool restart = false;
+      std::size_t count = 0;
+      for (Node* n = first; n->kind == Node::kItem;) {
+        auto ln = llx(n);
+        if (!ln.ok() || ++count > kSealMaxChain) {
+          // A concurrent update moved the chain, or it overshot the V
+          // capacity (possible only under kStallChainLen-deep concurrent
+          // insert bursts, which the backpressure then throttles): re-walk.
+          restart = true;
+          break;
+        }
+        op.seal(ln);
+        n = to_node(ln.field(Node::kNext));
+      }
+      if (restart) continue;
+      auto m = op.freshly(Node::MovedTag{}, first);
+      op.write(head, Node::kNext, m);
+      if (op.commit()) return;
+    }
+  }
+
+  // Insert-if-absent of a migrated pair into the next table, atomically
+  // predicated on bucket-not-finished (M ∈ V). Returns false once the
+  // bucket's finish SCX has committed (stop copying). An existing entry
+  // for the key always wins: it is either another helper's copy of the
+  // same frozen pair or a strictly newer routed upsert.
+  bool copy_into_next(Table* nt, Node* m, std::uint64_t key,
+                      std::uint64_t value) {
+    for (;;) {
+      auto lm = llx(m);
+      if (!lm.ok()) continue;
+      if (to_node(lm.field(Node::kNext))->kind == Node::kDone) return false;
+      Node* const head = nt->heads[bucket_of(key, nt->mask)];
+      Node* pred = head;
+      Node* cur = next_of(head);
+      while (cur->kind == Node::kItem && cur->key < key) {
+        pred = cur;
+        cur = next_of(cur);
+      }
+      auto lp = llx(pred);
+      if (!lp.ok()) continue;
+      cur = to_node(lp.field(Node::kNext));
+      if (cur->kind == Node::kItem && cur->key < key) continue;  // stale
+      if (cur->kind == Node::kItem && cur->key == key) return true;
+      ScxOp<Node, Reclaim> op;
+      op.link(lm);  // the not-finished predicate
+      op.link(lp);
+      auto n = op.freshly(key, value, cur);
+      op.write(pred, Node::kNext, n);
+      if (op.commit()) {
+        nt->items.fetch_add(1, mo::relaxed);
+        return true;
+      }
+    }
+  }
+
+  // Swap table_ to the fully migrated successor; the CAS winner retires
+  // the old generation (heads, markers, descriptor) through the policy.
+  void finish_table(Table* t) {
+    Table* nt = t->next.load(mo::acquire);
+    Table* expected = t;
+    if (!table_.compare_exchange_strong(expected, nt, mo::acq_rel,
+                                        mo::relaxed)) {
+      return;
+    }
+    for (Node* head : t->heads) {
+      Node* m = next_of(head);  // the kMoved marker
+      Node* d = next_of(m);     // the kDone marker
+      Domain::retire_record(head);
+      Domain::retire_record(m);
+      Domain::retire_record(d);
+    }
+    Reclaim::template retire<Table>(t);
+  }
+
+  // --- whole-table walks (size / occupancy / items) -----------------------
+
+  static std::size_t walk_chain(const Node* cur, const auto& node_fn) {
+    std::size_t n = 0;
+    for (; cur->kind == Node::kItem; cur = next_of(cur)) {
+      node_fn(cur);
+      ++n;
+    }
+    return n;
+  }
+
+  // Visit bucket b of t, routing through the migration states: LIVE and
+  // SEALED buckets contribute their (frozen) chain; a MIGRATED bucket's
+  // keys live in the next table's two split buckets.
+  void scan_bucket(const Table* t, std::size_t b, const auto& chain_fn,
+                   const auto& node_fn) const {
+    const Node* first = next_of(t->heads[b]);
+    if (first->kind == Node::kMoved) {
+      const Node* fc = next_of(first);
+      if (fc->kind == Node::kDone) {
+        const Table* nt = t->next.load(mo::acquire);
+        chain_fn(walk_chain(next_of(nt->heads[b]), node_fn));
+        chain_fn(walk_chain(next_of(nt->heads[b + t->heads.size()]), node_fn));
+        return;
+      }
+      first = fc;  // sealed: the frozen chain is authoritative
+    }
+    chain_fn(walk_chain(first, node_fn));
+  }
+
+  // Guard re-entered per bucket (see occupancy()); the table pointer is
+  // re-loaded under each guard because the previous generation may have
+  // been retired in between. Exact when quiescent, an estimate while the
+  // table grows underneath the walk.
+  void for_each_bucket(const auto& chain_fn, const auto& node_fn) const {
+    std::size_t nbuckets;
+    {
+      typename Domain::Guard g;
+      nbuckets = table_.load(mo::acquire)->heads.size();
+    }
+    for (std::size_t b = 0; b < nbuckets; ++b) {
+      typename Domain::Guard g;
+      const Table* t = table_.load(mo::acquire);
+      if (b >= t->heads.size()) break;  // defensive; tables never shrink
+      scan_bucket(t, b, chain_fn, node_fn);
+    }
+  }
+
+  std::atomic<Table*> table_;
 };
 
 using LlxScxHashMap = BasicLlxScxHashMap<EbrManager>;

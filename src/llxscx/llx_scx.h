@@ -57,7 +57,14 @@ void detail_retire_scx_default(ScxRecord* r);
 // SCX attempt and shared with helpers through the records it freezes.
 class ScxRecord {
  public:
-  static constexpr std::size_t kMaxV = 16;
+  // V capacity. 16 covers every per-operation shape in ds/ (the widest is
+  // the chromatic tree's k=5 rotations); the hash map's bucket-seal SCX
+  // (freeze an ENTIRE chain in one commit, ds/hashmap_llxscx.h) is the one
+  // consumer that needs headroom — its chains are capped well below this
+  // by the resize trigger, and the slack absorbs concurrent inserts that
+  // land between the trigger and the seal. Purely an array bound: k is a
+  // runtime value, so the k+1-CAS / f+2-writes shapes are unaffected.
+  static constexpr std::size_t kMaxV = 48;
 
   enum State : int { kInProgress = 0, kCommitted = 1, kAborted = 2 };
 
@@ -96,7 +103,7 @@ class ScxRecord {
   ScxRecord* info_fields_[kMaxV] = {};
   std::size_t k_ = 0;
   std::size_t acquired_ = 0;  // how many info_fields_ references we hold
-  std::uint32_t finalize_mask_ = 0;
+  std::uint64_t finalize_mask_ = 0;  // 64-bit: must index all of kMaxV
   std::atomic<std::uint64_t>* fld_ = nullptr;
   std::uint64_t old_ = 0;
   std::uint64_t new_ = 0;
@@ -264,7 +271,7 @@ inline bool detail_help(ScxRecord* u) {
   // — a helper that acquire-reads true may conclude "U committed".
   u->all_frozen_.store(true, mo::release);
   for (std::size_t i = 0; i < u->k_; ++i) {
-    if (u->finalize_mask_ & (1u << i)) {
+    if (u->finalize_mask_ & (std::uint64_t{1} << i)) {
       Stats::count_write();
       // relaxed: the mark needs no edge of its own — it is ordered before
       // the Committed state store by that store's release, which is the
@@ -414,7 +421,7 @@ LlxResult<NumMut> llx(const DataRecord<NumMut>* r) {
 //     may retire them (plus nodes made unreachable by the commit), via
 //     retire_record, after scx returns true.
 template <class Reclaim = EbrManager>
-bool scx(const LinkedLlx* v, std::size_t k, std::uint32_t finalize_mask,
+bool scx(const LinkedLlx* v, std::size_t k, std::uint64_t finalize_mask,
          std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
          std::uint64_t new_val) {
   assert(k >= 1 && k <= ScxRecord::kMaxV);
@@ -514,7 +521,7 @@ struct LlxScxDomain {
     return llxscx::llx(r);
   }
   static bool scx(const LinkedLlx* v, std::size_t k,
-                  std::uint32_t finalize_mask,
+                  std::uint64_t finalize_mask,
                   std::atomic<std::uint64_t>* fld, std::uint64_t old_val,
                   std::uint64_t new_val) {
     return llxscx::scx<Reclaim>(v, k, finalize_mask, fld, old_val, new_val);

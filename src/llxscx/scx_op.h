@@ -25,6 +25,10 @@
 //     (nodes the commit unlinked without finalizing, e.g. the trees'
 //     removed leaf) exactly once, in V order then declaration order; on
 //     abort it deletes every freshly() allocation instead (§8 rule 5).
+//     seal() is the one exception: it finalizes WITHOUT retiring, for
+//     records the commit freezes but leaves reachable (the hash map's
+//     bucket seal) — their exactly-once retirement transfers to the
+//     caller.
 //   - validate() runs VLX over the accumulated V-set for read-only
 //     position checks (claim C-C) without building an SCX.
 //
@@ -128,11 +132,31 @@ class ScxOp {
 
   // Add a record to V only: the SCX commits only if it is unchanged since
   // the snapshot. Returns the typed record for convenience.
-  NodeT* link(const LlxResult<kMut>& l) { return add(l, /*finalize=*/false); }
+  NodeT* link(const LlxResult<kMut>& l) {
+    return add(l, /*finalize=*/false, /*retire=*/false);
+  }
 
   // Add a record to V and R: on commit it is finalized (permanently
   // frozen, LLX reports FINALIZED) and retired by this builder.
-  NodeT* remove(const LlxResult<kMut>& l) { return add(l, /*finalize=*/true); }
+  NodeT* remove(const LlxResult<kMut>& l) {
+    return add(l, /*finalize=*/true, /*retire=*/true);
+  }
+
+  // Add a record to V and R WITHOUT builder-side retirement: on commit it
+  // is finalized (no SCX can ever touch it again) but stays REACHABLE and
+  // alive — the caller owns its eventual, exactly-once retirement.
+  //
+  // This is the bucket-seal shape (ds/hashmap_llxscx.h): the resize
+  // migration freezes an entire chain in one SCX so no late update can
+  // mutate it, then keeps the frozen chain readable (plain reads) until
+  // its keys have been copied to the next table; only the thread whose
+  // finish-SCX commits may retire the chain, through the same Reclaim
+  // policy (Domain::retire_record). remove() would retire at seal time —
+  // a use-after-free for every reader still walking the sealed bucket
+  // after the grace period.
+  NodeT* seal(const LlxResult<kMut>& l) {
+    return add(l, /*finalize=*/true, /*retire=*/false);
+  }
 
   // Construct a fresh NodeT. The builder owns it until commit(): published
   // on success, deleted on abort. Only these tokens are accepted as the
@@ -209,7 +233,7 @@ class ScxOp {
       return false;
     }
     for (std::size_t i = 0; i < k_; ++i) {
-      if (fmask_ & (1u << i)) Domain::retire_record(recs_[i]);
+      if (retire_mask_ & (std::uint64_t{1} << i)) Domain::retire_record(recs_[i]);
     }
     for (std::size_t i = 0; i < norphan_; ++i) Domain::retire_record(orphans_[i]);
     return true;
@@ -218,7 +242,7 @@ class ScxOp {
  private:
   static constexpr std::size_t kNpos = ~std::size_t{0};
 
-  NodeT* add(const LlxResult<kMut>& l, bool finalize) {
+  NodeT* add(const LlxResult<kMut>& l, bool finalize, bool retire) {
     if (!l.ok()) {
       misuse(kScxOpStaleSnapshot);
       return nullptr;
@@ -230,7 +254,8 @@ class ScxOp {
     v_[k_] = l.link();
     snap_[k_] = l;
     recs_[k_] = static_cast<NodeT*>(l.link().rec);
-    if (finalize) fmask_ |= 1u << k_;
+    if (finalize) fmask_ |= std::uint64_t{1} << k_;
+    if (retire) retire_mask_ |= std::uint64_t{1} << k_;
     return recs_[k_++];
   }
 
@@ -283,7 +308,9 @@ class ScxOp {
   LlxResult<kMut> snap_[ScxRecord::kMaxV];
   NodeT* recs_[ScxRecord::kMaxV];
   std::size_t k_ = 0;
-  std::uint32_t fmask_ = 0;
+  std::uint64_t fmask_ = 0;         // finalize bits (passed to scx)
+  std::uint64_t retire_mask_ = 0;   // ⊆ fmask_: bits this builder retires;
+                                    // seal() sets fmask only (caller owns)
   NodeT* fresh_[kMaxFresh];
   std::size_t nfresh_ = 0;
   NodeT* orphans_[kMaxOrphans];

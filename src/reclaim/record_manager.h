@@ -13,7 +13,14 @@
 //   M::Guard            RAII read reservation. Every manager here uses
 //                       Epoch::Guard — even the leaky one — because SCX
 //                       descriptors are always epoch-reclaimed and helpers
-//                       dereference them under the same guard.
+//                       dereference them under the same guard. A guard
+//                       pins the epoch for EVERY thread's limbo, so
+//                       long-running walks (a whole-table size() or
+//                       occupancy scan) must re-enter a fresh Guard per
+//                       segment rather than hold one across the walk —
+//                       otherwise one reader stalls all reclamation
+//                       (pinned by test_record_manager's
+//                       walk-does-not-block-drain case).
 //   M::alloc<T>(args…)  construct a T (policy decides where the bytes
 //                       come from).
 //   M::retire(T*)       hand over a node the caller just made unreachable

@@ -309,13 +309,14 @@ TEST(HashMap, UpsertGetEraseSemantics) {
   Epoch::drain_all_for_testing();
 }
 
-// Occupancy counters (groundwork for non-blocking resize): the Fibonacci
-// multiplicative spread must keep dense sequential key sets close to the
-// mean chain length — the max-bucket bound below is what a resize
-// trigger would watch.
-TEST(HashMap, OccupancyStatsAndMaxBucketBound) {
+// Occupancy counters and the resize trigger: 4096 keys into 256 buckets
+// would mean chains of 16 without growth — past the kResizeChainLen
+// trigger — so the map must have doubled (at least once) by the end, and
+// no chain may ever be observed past the kStallChainLen backpressure
+// bound.
+TEST(HashMap, OccupancyStatsAndGrowthKeepsChainsBounded) {
   constexpr std::size_t kBuckets = 256;
-  constexpr std::uint64_t kKeys = 4096;  // mean chain = 16
+  constexpr std::uint64_t kKeys = 4096;  // mean chain 16 if it never grew
   LlxScxHashMap m(kBuckets);
 
   {
@@ -329,20 +330,23 @@ TEST(HashMap, OccupancyStatsAndMaxBucketBound) {
 
   for (std::uint64_t k = 1; k <= kKeys; ++k) ASSERT_TRUE(m.insert(k, k));
   HashMapOccupancy o = m.occupancy();
-  EXPECT_EQ(o.buckets, kBuckets);
+  EXPECT_GT(o.buckets, kBuckets) << "growth must have triggered";
+  EXPECT_EQ(o.buckets, m.bucket_count());
   EXPECT_EQ(o.items, kKeys);
   EXPECT_EQ(o.items, m.size()) << "occupancy and size must agree";
-  EXPECT_DOUBLE_EQ(o.load_factor, static_cast<double>(kKeys) / kBuckets);
+  EXPECT_DOUBLE_EQ(
+      o.load_factor,
+      static_cast<double>(o.items) / static_cast<double>(o.buckets));
   EXPECT_GE(o.nonempty_buckets, kBuckets / 2)
       << "sequential keys must not pile into a few buckets";
-  EXPECT_LE(o.max_bucket, 2 * (kKeys / kBuckets))
-      << "max chain must stay near the mean under the Fibonacci spread";
+  EXPECT_LE(o.max_bucket, LlxScxHashMap::kStallChainLen)
+      << "no chain may outgrow the backpressure bound";
 
   for (std::uint64_t k = 1; k <= kKeys; k += 2) ASSERT_TRUE(m.erase(k));
   o = m.occupancy();
   EXPECT_EQ(o.items, kKeys / 2);
-  EXPECT_DOUBLE_EQ(o.load_factor, static_cast<double>(kKeys / 2) / kBuckets);
-  EXPECT_LE(o.max_bucket, kKeys / kBuckets);
+  EXPECT_EQ(o.items, m.size());
+  EXPECT_LE(o.max_bucket, LlxScxHashMap::kStallChainLen);
   Epoch::drain_all_for_testing();
 }
 

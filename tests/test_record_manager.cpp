@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "ds/hashmap_llxscx.h"
 #include "ds/multiset_llxscx.h"
 #include "ds/queue_llxscx.h"
 #include "reclaim/record_manager.h"
@@ -166,6 +167,60 @@ TEST(PoolManager, DeallocRecyclesWithoutGrace) {
   const ReclaimStats d = PoolManager::stats() - before;
   EXPECT_EQ(d.pool_hits, 1u);
   PoolManager::dealloc(q);
+}
+
+// A long whole-table walk must not stall other threads' reclamation: the
+// hash map's occupancy()/size()/items() re-enter their epoch guard per
+// bucket, so another thread's retire→drain completes WHILE the walk is
+// still in flight. (The old single-guard walk pinned the epoch for the
+// whole table: at millions of keys, unbounded garbage for everyone.) The
+// walker publishes a generation counter — odd while inside one
+// occupancy() call — and the test requires a payload retired after a walk
+// began to be destroyed before that SAME walk ends.
+TEST(EbrManagerWalks, OccupancyWalkDoesNotBlockAnotherThreadsDrain) {
+  constexpr std::uint64_t kKeys = 60'000;
+  BasicLlxScxHashMap<EbrManager> m(1);
+  for (std::uint64_t k = 1; k <= kKeys; ++k) m.upsert(k, k);
+  EbrManager::drain();
+
+  std::atomic<std::uint64_t> gen{0};  // odd ⇔ a walk is in flight
+  std::atomic<bool> stop{false};
+  std::thread walker([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      gen.fetch_add(1, std::memory_order_release);
+      m.occupancy();
+      gen.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  bool drained_mid_walk = false;
+  for (int attempt = 0; attempt < 50 && !drained_mid_walk; ++attempt) {
+    // Catch the START of a fresh walk so most of it is still ahead.
+    const std::uint64_t before = gen.load(std::memory_order_acquire);
+    std::uint64_t g;
+    do {
+      g = gen.load(std::memory_order_acquire);
+    } while (g == before || g % 2 == 0);
+    const int destroyed0 = Payload::destroyed.load();
+    Payload* p = EbrManager::alloc<Payload>(attempt);
+    EbrManager::retire(p);
+    while (gen.load(std::memory_order_acquire) == g) {
+      EbrManager::drain();
+      if (Payload::destroyed.load() > destroyed0) {
+        // Destroyed while generation g's walk is still running — the
+        // walk provably did not pin the epoch end to end.
+        drained_mid_walk = gen.load(std::memory_order_acquire) == g;
+        break;
+      }
+    }
+  }
+  stop.store(true);
+  walker.join();
+  EXPECT_TRUE(drained_mid_walk)
+      << "a retire during an occupancy walk never drained until the walk "
+         "ended — the walk is holding one guard across every bucket";
+  EbrManager::drain();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
 }
 
 // --- Structure stresses re-instantiated with PoolManager -----------------
