@@ -58,11 +58,18 @@
 // table_, so at most one migration is in flight per table generation and
 // the next table's buckets are never sealed while copies into them run.
 //
-// Backpressure: an update whose walk exceeds kStallChainLen refuses to
-// lengthen the chain — it seals + migrates its bucket instead and inserts
-// into the next table. Chains at seal time are therefore bounded by
-// kStallChainLen plus in-flight inserts, comfortably under the seal SCX's
-// V capacity (ScxRecord::kMaxV − 1; the seal re-walks if ever exceeded).
+// Backpressure: an insert measures the bucket's FULL chain length (the
+// walk to its slot plus the remainder of the chain, counted only up to
+// the bound — insert depth alone is NOT a bound: a descending-key stream
+// inserts at the front of the chain with depth 0 forever). At
+// kStallChainLen it refuses to lengthen the chain — it seals + migrates
+// its bucket instead and inserts into the next table. A committed insert
+// therefore measured < kStallChainLen, so chains are bounded by
+// kStallChainLen plus in-flight inserts (at most one per concurrent
+// thread: the measurement happens in the same pass as the walk), under
+// the seal SCX's V capacity (ScxRecord::kMaxV − 1) whenever fewer than
+// kSealMaxChain − kStallChainLen threads insert into one bucket at the
+// same instant; the seal re-walks if transiently exceeded.
 #pragma once
 
 #include <algorithm>
@@ -199,7 +206,16 @@ class BasicLlxScxHashMap {
         cur = next_of(cur);
         ++walked;
       }
-      if (walked >= kStallChainLen) {
+      // Backpressure + trigger need the chain's LENGTH, not the insert
+      // DEPTH (`walked`): a front-of-chain insert walks 0 nodes no matter
+      // how long the chain is. Keep counting past the slot, capped at the
+      // backpressure bound — beyond it the exact value doesn't matter.
+      std::size_t chain = walked;
+      for (const Node* s = cur; s->kind == Node::kItem && chain < kStallChainLen;
+           s = next_of(s)) {
+        ++chain;
+      }
+      if (chain >= kStallChainLen) {
         // Backpressure: never lengthen a chain this long — grow instead,
         // migrate this bucket, and insert into the next table.
         grow(t);
@@ -223,7 +239,7 @@ class BasicLlxScxHashMap {
         auto repl = op.freshly(key, value, to_node(lc.field(Node::kNext)));
         op.write(pred, Node::kNext, repl);
         if (op.commit()) {
-          after_update(t, walked);
+          after_update(t, chain);
           return false;
         }
       } else {
@@ -233,7 +249,7 @@ class BasicLlxScxHashMap {
         op.write(pred, Node::kNext, n);
         if (op.commit()) {
           t->items.fetch_add(1, mo::relaxed);
-          after_update(t, walked + 1);
+          after_update(t, chain + 1);
           return true;
         }
       }
@@ -438,13 +454,16 @@ class BasicLlxScxHashMap {
   }
 
   // Called after every committed update: helps an in-flight migration
-  // along, or triggers one when this op's bucket walk crossed the
-  // threshold AND the table-wide load factor warrants doubling. Loads
-  // only on the fast path — the pinned per-op SCX shapes are untouched.
-  void after_update(Table* t, std::size_t walked) {
+  // along, or triggers one when this op's observed chain length crossed
+  // the threshold AND the table-wide load factor warrants doubling.
+  // upsert passes the measured chain length; erase passes its walk depth
+  // (a lower bound — erase never lengthens a chain, and any insert into
+  // the bucket measures the full length). Loads only on the fast path —
+  // the pinned per-op SCX shapes are untouched.
+  void after_update(Table* t, std::size_t chain) {
     if (t->next.load(mo::acquire) != nullptr) {
       help_migrate(t);
-    } else if (walked >= kResizeChainLen &&
+    } else if (chain >= kResizeChainLen &&
                t->items.load(mo::relaxed) >=
                    static_cast<std::int64_t>((t->mask + 1) * kGrowLoadFactor)) {
       grow(t);
@@ -470,11 +489,23 @@ class BasicLlxScxHashMap {
                                                     mo::relaxed);
       const std::size_t end = std::min(start + kMigrationStride, n);
       for (std::size_t b = start; b < end; ++b) migrate_bucket(t, b);
-    } else if (t->migrated.load(mo::acquire) < n) {
-      for (std::size_t b = 0; b < n; ++b) {
+    } else {
+      // Endgame sweep. migrate_bucket returns only once its bucket is
+      // MIGRATED, so a sweep that visited every bucket proves completion
+      // by direct inspection and finishes unconditionally. The `migrated`
+      // counter is only a short-circuit — completion must never DEPEND on
+      // it: a finish winner that stalls (or dies) between its commit and
+      // its fetch_add leaves the counter at n−1 forever, and a
+      // counter-gated finish would then never swap table_. (The counter
+      // never overcounts — each bucket's finish SCX commits exactly once
+      // — so ==n remains a sound fast path.)
+      std::size_t b = 0;
+      for (; b < n; ++b) {
         if (t->migrated.load(mo::relaxed) == n) break;
         migrate_bucket(t, b);
       }
+      finish_table(t);
+      return;
     }
     if (t->migrated.load(mo::acquire) == n) finish_table(t);
   }
@@ -553,8 +584,11 @@ class BasicLlxScxHashMap {
         auto ln = llx(n);
         if (!ln.ok() || ++count > kSealMaxChain) {
           // A concurrent update moved the chain, or it overshot the V
-          // capacity (possible only under kStallChainLen-deep concurrent
-          // insert bursts, which the backpressure then throttles): re-walk.
+          // capacity. Overshoot past kStallChainLen is possible only via
+          // in-flight inserts that measured the chain before it reached
+          // the bound — at most one per concurrent thread — and
+          // backpressure blocks every later insert, so the chain stops
+          // growing and the re-walk converges.
           restart = true;
           break;
         }

@@ -101,6 +101,35 @@ TYPED_TEST(HashMapGrowth, SingleBucketToHundredThousandKeys) {
       << "every migrated chain, marker, and bucket array must drain";
 }
 
+// Regression for the depth-vs-length trigger bug: a DESCENDING key stream
+// always inserts at the front of its bucket's sorted chain, so the insert
+// depth is 0 on every single operation — at any table size, since each new
+// key is globally smallest. Only a true chain-LENGTH measurement can see
+// these chains; depth-based backpressure/trigger let this stream grow one
+// unbounded chain (and a later seal of a chain past the SCX's V capacity
+// would re-walk the same oversized chain forever).
+TEST(HashMapResize, DescendingInsertionOrderStillTriggersGrowth) {
+  constexpr std::uint64_t kKeys = 20'000;
+  {
+    BasicLlxScxHashMap<EbrManager> m(1);
+    for (std::uint64_t k = kKeys; k >= 1; --k) ASSERT_TRUE(m.upsert(k, k + 7));
+    settle(m);
+    EXPECT_GT(m.bucket_count(), 1u)
+        << "front-of-chain inserts never fired the growth trigger";
+    const HashMapOccupancy o = m.occupancy();
+    EXPECT_EQ(o.items, kKeys);
+    EXPECT_LE(o.max_bucket, kQuiescentChainBound)
+        << "chains must stay bounded under depth-0 insertion order";
+    for (std::uint64_t k = 1; k <= kKeys; ++k) {
+      auto v = m.get(k);
+      ASSERT_TRUE(v.has_value()) << k;
+      ASSERT_EQ(*v, k + 7) << k;
+    }
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
 // Values written DURING growth must win over the migration's copies: a
 // writer that keeps overwriting one key while the table doubles around it
 // must never observe a stale value resurrected from a frozen chain.
@@ -131,6 +160,7 @@ TEST(HashMapResize, MillionKeysFromOneBucketUnderConcurrentReaders) {
     BasicLlxScxHashMap<EbrManager> m(1);
     std::atomic<std::uint64_t> next{1};
     std::atomic<bool> done{false};
+    std::atomic<bool> bound_violated{false};
     std::atomic<std::size_t> doublings{0};
     std::atomic<std::size_t> worst_live_chain{0};
     SpinBarrier barrier(kWriters + kReaders + 2);
@@ -141,7 +171,9 @@ TEST(HashMapResize, MillionKeysFromOneBucketUnderConcurrentReaders) {
         barrier.arrive_and_wait();
         for (;;) {
           const std::uint64_t k = next.fetch_add(1, std::memory_order_relaxed);
-          if (k > kKeys) break;
+          if (k > kKeys || bound_violated.load(std::memory_order_relaxed)) {
+            break;
+          }
           m.upsert(k, k ^ 0xABCDu);
         }
       });
@@ -178,8 +210,18 @@ TEST(HashMapResize, MillionKeysFromOneBucketUnderConcurrentReaders) {
                  !worst_live_chain.compare_exchange_weak(
                      worst, o.max_bucket, std::memory_order_relaxed)) {
           }
-          ASSERT_LE(o.max_bucket, kLiveChainBound)
+          // EXPECT, not ASSERT: a fatal assertion off the main thread
+          // only aborts this lambda (gtest records it, but the monitor
+          // would silently stop enforcing the bound while the stress
+          // runs on). Record the violation in a flag instead — writers
+          // stop on it, and the main thread re-asserts it after joining
+          // so the failure terminates the test promptly and attributably.
+          EXPECT_LE(o.max_bucket, kLiveChainBound)
               << "chains outran the migration after doubling to " << now;
+          if (o.max_bucket > kLiveChainBound) {
+            bound_violated.store(true, std::memory_order_relaxed);
+            return;
+          }
         }
         std::this_thread::yield();
       }
@@ -188,6 +230,9 @@ TEST(HashMapResize, MillionKeysFromOneBucketUnderConcurrentReaders) {
     for (int w = 0; w < kWriters; ++w) pool[static_cast<std::size_t>(w)].join();
     done.store(true);
     for (std::size_t i = kWriters; i < pool.size(); ++i) pool[i].join();
+    ASSERT_FALSE(bound_violated.load())
+        << "monitor saw a chain above the protocol bound (worst="
+        << worst_live_chain.load() << "); stress stopped early";
 
     settle(m);
     EXPECT_GE(doublings.load(), 5u)
