@@ -1,0 +1,142 @@
+// E11 — sharded KV front-end scaling (DESIGN.md §12).
+//
+// The service-shape question: what does partitioning the key space over
+// per-shard engine instances (each with its own reclamation domain) buy
+// over one shared instance? Per thread count, each engine (hashmap,
+// chromatic) runs the same skewed mixed workload against a single bare
+// instance and against ShardedMap with 1, 2, and 4 shards:
+//
+//   single      the bare engine — every thread contends on one structure
+//               and one epoch domain.
+//   sharded-N   ShardedMap<Engine>(N): hot keys spread across shards, so
+//               fewer threads collide on any one record (fewer frozen-
+//               node retries, fewer helps) and each shard's limbo drains
+//               behind its own epoch.
+//
+// sharded-1 isolates the front-end overhead itself (one multiply-shift
+// route + a domain-scope switch per op) — the honest baseline tax before
+// any spreading can pay it back.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "ds/chromatic_llxscx.h"
+#include "ds/hashmap_llxscx.h"
+#include "service/sharded_map.h"
+#include "util/random.h"
+
+namespace llxscx {
+namespace {
+
+constexpr std::uint64_t kHotKeys = 64;
+constexpr std::uint64_t kKeySpace = 1 << 14;
+
+struct CellResult {
+  const char* engine = "";
+  std::string config;
+  int shards = 0;  // 0 = bare single instance
+  int threads = 0;
+  double ops_per_sec = 0;
+  std::uint64_t keys = 0;  // quiescent size() after the phase
+};
+
+// The VLL contention idiom (SNIPPETS.md §2): 80% of ops on a small hot
+// set — the regime where spreading hot keys over shards matters most.
+std::uint64_t skewed(Xoshiro256& rng) {
+  return rng.percent(80) ? 1 + rng.below(kHotKeys) : 1 + rng.below(kKeySpace);
+}
+
+template <class C>
+CellResult run_cell(C& c, const char* engine, const char* config, int shards,
+                    int threads) {
+  for (std::uint64_t k = 1; k <= kKeySpace; k += 2) c.insert(k, k);
+  const auto r = bench::run_phase(
+      threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
+        Xoshiro256 rng(1100 + t);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t key = skewed(rng);
+          const unsigned dice = static_cast<unsigned>(rng.below(100));
+          if (dice < 40) {
+            c.insert(key, key);
+          } else if (dice < 80) {
+            c.erase(key);
+          } else {
+            c.contains(key);
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  CellResult cell;
+  cell.engine = engine;
+  cell.config = config;
+  cell.shards = shards;
+  cell.threads = threads;
+  cell.ops_per_sec = r.ops_per_sec();
+  cell.keys = c.size();
+  return cell;
+}
+
+template <class Engine>
+void engine_cells(const char* engine, int threads,
+                  std::vector<CellResult>& out) {
+  {
+    Engine single;
+    out.push_back(run_cell(single, engine, "single", 0, threads));
+  }
+  for (int shards : {1, 2, 4}) {
+    ShardedMap<Engine> m(static_cast<std::size_t>(shards));
+    out.push_back(run_cell(m, engine,
+                           ("sharded-" + std::to_string(shards)).c_str(),
+                           shards, threads));
+  }
+}
+
+bool emit_json(const char* path, const std::vector<CellResult>& cells) {
+  return bench::emit_json_envelope(
+      path, "bench_sharded", cells.size(), [&](std::FILE* f, std::size_t i) {
+        const CellResult& c = cells[i];
+        std::fprintf(f,
+                     "{\"engine\": \"%s\", \"config\": \"%s\", \"shards\": %d, "
+                     "\"threads\": %d, \"ops_per_sec\": %.0f, \"keys\": %llu}",
+                     c.engine, c.config.c_str(), c.shards, c.threads,
+                     c.ops_per_sec, static_cast<unsigned long long>(c.keys));
+      });
+}
+
+bool run(const char* json_path) {
+  std::printf("E11: sharded front-end vs single instance — skewed mixed ops "
+              "(80%% on %llu hot keys, space %llu), %d ms per cell\n\n",
+              static_cast<unsigned long long>(kHotKeys),
+              static_cast<unsigned long long>(kKeySpace),
+              bench::phase_millis());
+
+  std::vector<CellResult> cells;
+  for (int threads : bench::thread_grid({1, 2, 4})) {
+    engine_cells<LlxScxHashMap>("hashmap", threads, cells);
+    engine_cells<LlxScxChromatic>("chromatic", threads, cells);
+  }
+
+  bench::Table t({"engine", "config", "threads", "ops/s", "keys"});
+  for (const CellResult& c : cells) {
+    t.add_row({c.engine, c.config, std::to_string(c.threads),
+               bench::fmt(c.ops_per_sec / 1e6, 3) + "M",
+               bench::fmt_u64(c.keys)});
+  }
+  t.print();
+  std::printf("\nnote: 'sharded-1' prices the routing layer alone; the "
+              "spread configs additionally split hot-key conflicts and "
+              "reclamation across domains.\n");
+  Epoch::drain_all_for_testing();
+  return json_path == nullptr || emit_json(json_path, cells);
+}
+
+}  // namespace
+}  // namespace llxscx
+
+int main(int argc, char** argv) {
+  return llxscx::run(llxscx::bench::parse_json_flag(argc, argv)) ? 0 : 1;
+}

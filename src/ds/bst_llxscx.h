@@ -76,6 +76,7 @@ class BasicLlxScxBst
  public:
   using Node = BstNode;
   using Domain = typename Base::Domain;
+  static constexpr const char* kName = "llxscx-bst";
   using Op = typename Base::Op;
   using Snapshot = typename Base::Snapshot;
 

@@ -97,6 +97,7 @@ class BasicLlxScxChromatic
  public:
   using Node = ChromaticNode;
   using Domain = typename Base::Domain;
+  static constexpr const char* kName = "llxscx-chromatic";
   using Op = typename Base::Op;
   using Snapshot = typename Base::Snapshot;
 

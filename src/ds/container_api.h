@@ -13,15 +13,28 @@
 //                        structural element and ignore the key).
 //   contains(key)      — membership by key, plain-read traversal
 //                        (Proposition 2: no LLX, no CAS).
-//   size()             — element count by traversal. Exact only when
-//                        quiescent; under concurrency it is a snapshot of
-//                        one serialization of the traversal. Whole-
-//                        structure walks (size(), the hash map's
-//                        occupancy()) re-enter their reclamation Guard
-//                        per segment — a single guard held across a
-//                        multi-million-node walk would pin the epoch and
-//                        stall every other thread's reclamation
-//                        (DESIGN.md §10 rule 1).
+//   size()             — element count by traversal. The pinned contract:
+//                        QUIESCENTLY ACCURATE, NOT LINEARIZABLE. After
+//                        every mutator has returned (workers joined),
+//                        size() equals the exact element count — the
+//                        conformance suite asserts this for every engine.
+//                        Under concurrency it is only a snapshot of one
+//                        serialization of the traversal: an op that
+//                        overlaps the walk may or may not be counted, and
+//                        no single instant need have held the returned
+//                        value. Sharded front-ends (DESIGN.md §12) sum
+//                        per-shard walks, which weakens the concurrent
+//                        snapshot further (each addend is a separate
+//                        serialization) but leaves the quiescent
+//                        guarantee intact. Whole-structure walks with a
+//                        stable spine (the hash map's size()/occupancy()
+//                        over its bucket array) re-enter their
+//                        reclamation Guard per segment; spineless walks
+//                        (trees, the multiset's list) hold one guard and
+//                        document size() as an occasional probe — a
+//                        single guard across a multi-million-node walk
+//                        pins its domain's epoch and stalls that
+//                        domain's reclamation (DESIGN.md §10 rule 1).
 //   kName              — stable identifier for tables and logs.
 //
 // StepCounts hooks: every conforming container routes ALL of its shared

@@ -71,6 +71,7 @@ class BasicLlxScxMultiset {
  public:
   using Node = MultisetNode;
   using Domain = LlxScxDomain<Reclaim>;
+  static constexpr const char* kName = "llxscx-multiset";
 
   BasicLlxScxMultiset() {
     head_.mut(Node::kNext).store(
@@ -119,8 +120,13 @@ class BasicLlxScxMultiset {
     }
   }
 
+  // Container-contract face (DESIGN.md §9): remove ONE copy of key; true
+  // iff something was removed. The counted form below is the full API —
+  // no default argument there, so the two faces never collide.
+  bool erase(std::uint64_t key) { return erase(key, 1) != 0; }
+
   // Removes up to `count` copies of key; returns how many were removed.
-  std::uint64_t erase(std::uint64_t key, std::uint64_t count = 1) {
+  std::uint64_t erase(std::uint64_t key, std::uint64_t count) {
     typename Domain::Guard g;
     for (;;) {
       Node* pred = locate(key);
@@ -161,6 +167,22 @@ class BasicLlxScxMultiset {
   }
 
   bool delete_one(std::uint64_t key) { return erase(key, 1) != 0; }
+
+  // Membership by key (container contract): any copy present?
+  bool contains(std::uint64_t key) const { return get(key) != 0; }
+
+  // Element count — the sum of multiplicities — by plain-read traversal.
+  // Exact when quiescent (container contract); holds one guard across the
+  // walk, same caveat as the tree size() (a list has no stable spine to
+  // re-enter a guard per segment).
+  std::size_t size() const {
+    typename Domain::Guard g;
+    std::size_t total = 0;
+    for (const Node* cur = next_of(&head_); !cur->tail; cur = next_of(cur)) {
+      total += cur->count;
+    }
+    return total;
+  }
 
   // Multiplicity of key, traversing with plain reads (Proposition 2).
   std::uint64_t get(std::uint64_t key) const {

@@ -85,6 +85,7 @@ class BasicLlxScxPatricia
  public:
   using Node = PatriciaNode;
   using Domain = typename Base::Domain;
+  static constexpr const char* kName = "llxscx-patricia";
   using Op = typename Base::Op;
   using Snapshot = typename Base::Snapshot;
 

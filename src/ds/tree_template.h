@@ -116,6 +116,40 @@ class TreeTemplate {
     }
   }
 
+  // Membership by key: the same plain-read walk as get() (Proposition 2 —
+  // no LLX, no CAS), surfaced for the container contract (DESIGN.md §9).
+  bool contains(std::uint64_t key) const { return get(key).has_value(); }
+
+  // User-leaf count by traversal (container contract: exact when
+  // quiescent, a snapshot of one serialization under concurrency).
+  // Unlike items()/depth_stats() this walk uses the instrumented acquire
+  // child loads, so it is memory-safe under concurrent updates. It holds
+  // ONE guard across the walk: a tree has no stable spine to re-enter a
+  // guard per segment (the hash map's bucket array does, see its
+  // occupancy()), so treat size() as an occasional probe — a walk over
+  // millions of nodes pins this domain's epoch for its duration.
+  std::size_t size() const {
+    typename Domain::Guard g;
+    std::size_t count = 0;
+    std::vector<const Node*> stack;
+    const Node* r = self().root_ptr();
+    for (std::size_t c = 0; c < Node::kNumMut; ++c) {
+      if (const Node* n = read_child(r, c)) stack.push_back(n);
+    }
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      if (Derived::is_leaf(n)) {
+        if (self().is_user_leaf(n)) ++count;
+        continue;
+      }
+      for (std::size_t c = 0; c < Node::kNumMut; ++c) {
+        if (const Node* child = read_child(n, c)) stack.push_back(child);
+      }
+    }
+    return count;
+  }
+
   // Insert-if-absent; returns whether the key was inserted.
   bool insert(std::uint64_t key, std::uint64_t value) {
     typename Domain::Guard g;

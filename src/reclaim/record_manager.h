@@ -45,6 +45,13 @@
 //   M::stats()          this thread's ReclaimStats (plain thread-local
 //                       counters — no shared steps, so policy accounting
 //                       never perturbs the pinned SCX step shapes).
+//   M::domain_stats()   the CURRENT epoch domain's limbo accounting
+//                       (DomainReclaimStats below). Unlike stats() these
+//                       are shared, per-domain counters: under an
+//                       Epoch::DomainScope they describe that domain
+//                       alone, which is what lets the sharded front-end
+//                       (DESIGN.md §12) report per-shard reclamation and
+//                       the tests assert shard independence.
 //
 // The contract a policy must honor for the LLX/SCX proofs to survive is
 // written out in DESIGN.md §10; the short form: an address handed to
@@ -93,6 +100,16 @@ struct ReclaimStats {
   }
 };
 
+// Snapshot of one epoch domain's reclamation accounting (the domain
+// current on the calling thread). `outstanding` counts retired-not-yet-
+// freed records across every thread registered in the domain; `freed` is
+// the domain's lifetime free count. Relaxed reads — exact only when the
+// domain is quiescent, same contract as container size().
+struct DomainReclaimStats {
+  std::uint64_t outstanding = 0;
+  std::uint64_t freed = 0;
+};
+
 // The compile-time face of the contract. alloc/retire/dealloc are member
 // templates, so the concept probes them with a concrete stand-in type.
 template <class M>
@@ -107,6 +124,7 @@ concept RecordManager = requires(int* p) {
   { M::template dealloc_desc<int>(p) };
   { M::drain() };
   { M::stats() } -> std::same_as<ReclaimStats&>;
+  { M::domain_stats() } -> std::same_as<DomainReclaimStats>;
 };
 
 // --- EbrManager: the default — plain new/delete under epoch grace -------
@@ -150,6 +168,10 @@ struct EbrManager {
   }
 
   static void drain() { Epoch::drain_all_for_testing(); }
+
+  static DomainReclaimStats domain_stats() {
+    return {Epoch::outstanding(), Epoch::total_freed()};
+  }
 
   static ReclaimStats& stats() {
     thread_local ReclaimStats s;
@@ -209,6 +231,10 @@ struct LeakyManager {
   }
 
   static void drain() { Epoch::drain_all_for_testing(); }
+
+  static DomainReclaimStats domain_stats() {
+    return {Epoch::outstanding(), Epoch::total_freed()};
+  }
 
   static ReclaimStats& stats() {
     thread_local ReclaimStats s;
@@ -287,6 +313,10 @@ struct PoolManager {
   }
 
   static void drain() { Epoch::drain_all_for_testing(); }
+
+  static DomainReclaimStats domain_stats() {
+    return {Epoch::outstanding(), Epoch::total_freed()};
+  }
 
   static ReclaimStats& stats() {
     thread_local ReclaimStats s;

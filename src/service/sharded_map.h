@@ -1,0 +1,215 @@
+// Sharded KV front-end (DESIGN.md §12) — the millions-of-users shape.
+//
+// ShardedMap<Engine> partitions the 64-bit key space over N instances of
+// any LlxScxContainer (hashmap, BST, chromatic, Patricia, multiset, …),
+// in the parameter-server-over-swappable-KV-engines layering of PetPS's
+// base_kv: the engine is a template parameter behind one uniform
+// signature, so the same front-end serves every structure and the
+// conformance suite drives ShardedMap<anything> exactly like the bare
+// engine.
+//
+// Each shard owns its own reclamation domain (Epoch::Domain): the
+// shard's engine is constructed, operated, and destroyed under an
+// Epoch::DomainScope for that domain, so every record the engine
+// allocates or retires — Data-records AND the SCX descriptors the
+// helpers chase — lives in the shard's own epoch. That makes shards
+// independent failure domains for reclamation: a reader stalled inside
+// shard 3 pins shard 3's limbo only, while shards 0–2 keep draining
+// (asserted by test_sharded_map). Cross-shard helping cannot smuggle a
+// record into the wrong domain because an SCX only freezes records of
+// the structure it operates on, and a shard's structure is only ever
+// touched under that shard's scope.
+//
+// Splitter policy: shard routing must not consume the bits the engine
+// hashes next. The default HighBitsSplitter takes the TOP shard_bits of
+// the same Fibonacci product whose bits 32..63 the hash map's bucket_of
+// uses — with shard counts ≤ 2^16 and bucket counts < 2^32 the two
+// windows are disjoint, so per-shard hashmaps don't see all their keys
+// land in a bucket-aligned stripe.
+//
+// ShardedMap itself satisfies LlxScxContainer: kName composes the engine
+// name at compile time ("sharded+<engine>"), size() sums per-shard sizes
+// (quiescently exact, like every engine's — the per-shard walks are
+// serialized here, so under concurrency the sum mixes serializations
+// and is a weaker snapshot than a single engine's; the contract in
+// container_api.h is unchanged because it never promised linearizable
+// counts). steps_of aggregation needs no help from this class: shards
+// share the calling thread's StepCounts, so one steps_of around a
+// front-end op measures the routed op plus the (zero-shared-step)
+// splitter, and shape tests pin that it equals the bare engine's cost.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ds/container_api.h"
+#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+
+namespace llxscx {
+
+// Default shard router. Multiplicative (Fibonacci) hash, keeping the TOP
+// `shard_bits` — disjoint from the window bucket_of extracts (bits
+// 32..63 counted from the low end reach the top only when the mask needs
+// > 2^(32-shard_bits) buckets), so sharded hashmaps re-use no routing
+// bits. shard_bits == 0 maps everything to shard 0.
+struct HighBitsSplitter {
+  std::size_t operator()(std::uint64_t key, std::size_t shard_bits) const {
+    if (shard_bits == 0) return 0;
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >>
+                                    (64 - shard_bits));
+  }
+};
+
+namespace detail {
+
+constexpr std::size_t cstr_len(const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  return n;
+}
+
+// "sharded+" ⊕ Engine::kName, materialized at compile time so kName stays
+// a plain const char* (the concept's currency) with no runtime setup.
+template <class Engine>
+constexpr auto sharded_name() {
+  constexpr const char* kPrefix = "sharded+";
+  std::array<char, cstr_len("sharded+") + cstr_len(Engine::kName) + 1> buf{};
+  std::size_t i = 0;
+  for (std::size_t j = 0; kPrefix[j] != '\0'; ++j) buf[i++] = kPrefix[j];
+  for (std::size_t j = 0; Engine::kName[j] != '\0'; ++j)
+    buf[i++] = Engine::kName[j];
+  buf[i] = '\0';
+  return buf;
+}
+
+template <class Engine>
+inline constexpr auto kShardedNameBuf = sharded_name<Engine>();
+
+}  // namespace detail
+
+template <class Engine, class Splitter = HighBitsSplitter>
+  requires LlxScxContainer<Engine>
+class ShardedMap {
+ public:
+  static constexpr const char* kName = detail::kShardedNameBuf<Engine>.data();
+
+  // shard_count is rounded UP to a power of two (the splitter hands out
+  // shard_bits-sized prefixes, so non-power-of-two counts would need a
+  // modulo that re-mixes bits the engines hash).
+  explicit ShardedMap(std::size_t shard_count = 4, Splitter split = {})
+      : split_(split) {
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < shard_count && bits < 16) ++bits;
+    shard_bits_ = bits;
+    const std::size_t n = std::size_t{1} << bits;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto sh = std::make_unique<Shard>();
+      {
+        // The engine allocates its sentinels in its own domain.
+        Epoch::DomainScope scope(sh->domain);
+        sh->engine.emplace();
+      }
+      shards_.push_back(std::move(sh));
+    }
+  }
+
+  ~ShardedMap() {
+    // Destroy each engine under its shard's scope so teardown retires land
+    // in the right domain; ~Domain then drains it.
+    for (auto& sh : shards_) {
+      Epoch::DomainScope scope(sh->domain);
+      sh->engine.reset();
+    }
+  }
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  // --- the container contract, routed --------------------------------
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    Shard& sh = shard_for(key);
+    Epoch::DomainScope scope(sh.domain);
+    return sh.engine->insert(key, value);
+  }
+  bool erase(std::uint64_t key) {
+    Shard& sh = shard_for(key);
+    Epoch::DomainScope scope(sh.domain);
+    return sh.engine->erase(key);
+  }
+  bool contains(std::uint64_t key) const {
+    const Shard& sh = shard_for(key);
+    Epoch::DomainScope scope(sh.domain);
+    return sh.engine->contains(key);
+  }
+  // Sum of per-shard sizes, each under its shard's scope. Quiescently
+  // exact; under concurrency each addend is a separate serialization.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) {
+      Epoch::DomainScope scope(sh->domain);
+      total += sh->engine->size();
+    }
+    return total;
+  }
+
+  // --- service-layer surface ------------------------------------------
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(std::uint64_t key) const {
+    return split_(key, shard_bits_);
+  }
+
+  // Occupancy/stats hook: fn(index, const Engine&, DomainReclaimStats),
+  // called under the shard's scope so engine walks pin the right epoch.
+  template <class Fn>
+  void for_each_shard(Fn&& fn) const {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& sh = *shards_[i];
+      Epoch::DomainScope scope(sh.domain);
+      fn(i, *sh.engine,
+         DomainReclaimStats{sh.domain.outstanding(), sh.domain.total_freed()});
+    }
+  }
+
+  // The shard's reclamation domain, for tests that pin guards on one
+  // shard and drain another (the independence property).
+  const Epoch::Domain& shard_domain(std::size_t i) const {
+    return shards_[i]->domain;
+  }
+
+  // Teardown/test verbs over every shard's domain.
+  void drain_all() const {
+    for (const auto& sh : shards_) sh->domain.drain();
+  }
+  std::uint64_t reclaim_outstanding() const {
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->domain.outstanding();
+    return total;
+  }
+
+ private:
+  // Padded so two shards' hot engine state never shares a line; the
+  // domain lives next to its engine (same locality story as per-shard
+  // pools in the RecordManager plan).
+  struct alignas(64) Shard {
+    Epoch::Domain domain;
+    std::optional<Engine> engine;  // constructed under the domain's scope
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    return *shards_[split_(key, shard_bits_)];
+  }
+  const Shard& shard_for(std::uint64_t key) const {
+    return *shards_[split_(key, shard_bits_)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_bits_ = 0;
+  Splitter split_;
+};
+
+}  // namespace llxscx

@@ -1,0 +1,250 @@
+// Cross-engine container conformance (DESIGN.md §9, §12): one typed gtest
+// suite instantiated over EVERY LlxScxContainer — the seven structures AND
+// ShardedMap wrapped around each — replacing the per-structure basic
+// sections that used to be copy-pasted across test binaries. This is the
+// gate any future engine must pass: satisfy the concept, honor the
+// insert/erase/contains return contract, report exact quiescent sizes,
+// leave the epoch fully drained at teardown, and survive a 4-thread
+// locked-oracle stress.
+//
+// Semantics differ by family, captured in two trait bits derived from the
+// underlying engine (sharded wrappers inherit their engine's semantics):
+//   kDupInsertReturnsTrue  — multiset/stack/queue accept duplicates
+//                            (insert always true); maps reject (false).
+//   kKeyedErase            — maps/multiset remove BY KEY; stack/queue
+//                            document key-independent removal
+//                            (pop/dequeue), so their oracle is global
+//                            push/pop conservation, not per-key nets.
+//
+// All inserts here use value/count 1 so "elements" and "size()" agree for
+// the multiset (its insert(key, v) adds v copies).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "ds/bst_llxscx.h"
+#include "ds/chromatic_llxscx.h"
+#include "ds/container_api.h"
+#include "ds/hashmap_llxscx.h"
+#include "ds/multiset_llxscx.h"
+#include "ds/patricia_llxscx.h"
+#include "ds/queue_llxscx.h"
+#include "ds/stack_llxscx.h"
+#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "service/sharded_map.h"
+#include "util/random.h"
+
+#include "tests/test_common.h"
+
+namespace llxscx {
+namespace {
+
+// The engine behind a front-end: identity for bare structures, Engine for
+// ShardedMap<Engine> — semantic traits follow the engine.
+template <class C>
+struct EngineOf {
+  using type = C;
+};
+template <class E, class S>
+struct EngineOf<ShardedMap<E, S>> {
+  using type = E;
+};
+
+template <class C>
+using engine_t = typename EngineOf<C>::type;
+
+// Family detection off the engines' own extra verbs: sequence containers
+// expose pop()/dequeue(), the multiset exposes delete_one().
+template <class C>
+constexpr bool kIsSeq = requires(engine_t<C> e) { e.pop(); } ||
+                        requires(engine_t<C> e) { e.dequeue(); };
+template <class C>
+constexpr bool kIsBag = requires(engine_t<C> e) { e.delete_one(1ull); };
+
+template <class C>
+constexpr bool kDupInsertReturnsTrue = kIsSeq<C> || kIsBag<C>;
+template <class C>
+constexpr bool kKeyedErase = !kIsSeq<C>;
+
+template <class C>
+constexpr bool kIsSharded = !std::is_same_v<C, engine_t<C>>;
+
+// Drain the domains the container retires into, then report what is still
+// outstanding. ShardedMap owns per-shard domains; bare engines retire into
+// the thread's current (default) domain.
+template <class C>
+std::uint64_t drained_outstanding(const C& c) {
+  if constexpr (requires {
+                  c.drain_all();
+                  c.reclaim_outstanding();
+                }) {
+    c.drain_all();
+    return c.reclaim_outstanding();
+  } else {
+    (void)c;
+    Epoch::drain_all_for_testing();
+    return Epoch::outstanding();
+  }
+}
+
+template <class C>
+class ContainerConformance : public ::testing::Test {};
+
+using Containers = ::testing::Types<
+    LlxScxMultiset, LlxScxStack, LlxScxQueue, LlxScxHashMap, LlxScxBst,
+    LlxScxPatricia, LlxScxChromatic, ShardedMap<LlxScxMultiset>,
+    ShardedMap<LlxScxStack>, ShardedMap<LlxScxQueue>,
+    ShardedMap<LlxScxHashMap>, ShardedMap<LlxScxBst>,
+    ShardedMap<LlxScxPatricia>, ShardedMap<LlxScxChromatic>>;
+TYPED_TEST_SUITE(ContainerConformance, Containers);
+
+TYPED_TEST(ContainerConformance, SatisfiesConceptWithStableName) {
+  static_assert(LlxScxContainer<TypeParam>);
+  EXPECT_STRNE(TypeParam::kName, "");
+  if constexpr (kIsSharded<TypeParam>) {
+    // The compile-time name composition: "sharded+" ⊕ engine name.
+    const std::string name = TypeParam::kName;
+    EXPECT_EQ(name, std::string("sharded+") + engine_t<TypeParam>::kName);
+  }
+}
+
+TYPED_TEST(ContainerConformance, EmptyContainerBehaves) {
+  {
+    TypeParam c;
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_FALSE(c.contains(7));
+    EXPECT_FALSE(c.erase(7));  // nothing to remove, keyed or not
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+TYPED_TEST(ContainerConformance, InsertContainsEraseRoundTrip) {
+  {
+    TypeParam c;
+    EXPECT_TRUE(c.insert(42, 1));
+    EXPECT_TRUE(c.contains(42));
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_TRUE(c.erase(42));
+    EXPECT_FALSE(c.contains(42));
+    EXPECT_EQ(c.size(), 0u);
+    if constexpr (kKeyedErase<TypeParam>) {
+      EXPECT_FALSE(c.erase(42));  // absent again
+    }
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+TYPED_TEST(ContainerConformance, DuplicateInsertFollowsFamilySemantics) {
+  {
+    TypeParam c;
+    EXPECT_TRUE(c.insert(5, 1));
+    EXPECT_EQ(c.insert(5, 1), kDupInsertReturnsTrue<TypeParam>);
+    EXPECT_TRUE(c.contains(5));
+    EXPECT_EQ(c.size(), kDupInsertReturnsTrue<TypeParam> ? 2u : 1u);
+    EXPECT_TRUE(c.erase(5));
+    EXPECT_EQ(c.contains(5), kDupInsertReturnsTrue<TypeParam>);
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// The pinned size() contract (container_api.h): exact when quiescent.
+// Deterministic single-thread mix first; the stress below re-asserts it
+// after 4 contending workers JOIN (the quiescence satellite).
+TYPED_TEST(ContainerConformance, SizeIsExactWhenQuiescent) {
+  {
+    TypeParam c;
+    constexpr std::uint64_t kN = 300;
+    for (std::uint64_t k = 1; k <= kN; ++k) EXPECT_TRUE(c.insert(k, 1));
+    EXPECT_EQ(c.size(), kN);
+    std::uint64_t removed = 0;
+    for (std::uint64_t k = 1; k <= kN; k += 3) removed += c.erase(k) ? 1 : 0;
+    EXPECT_EQ(c.size(), kN - removed);
+    if constexpr (kKeyedErase<TypeParam>) {
+      EXPECT_EQ(removed, (kN + 2) / 3);  // every erased key was present
+    }
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// 4-thread locked-oracle stress, the shared gate: keyed families check
+// net-per-key against a KeyedOracle (contains ⇔ net > 0, size == Σ net);
+// sequence families check global push/pop conservation. Both end with the
+// quiescent-size assertion and a fully drained epoch.
+TYPED_TEST(ContainerConformance, StressMatchesLockedOracle) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kHotKeys = 8;
+  constexpr std::uint64_t kKeySpace = 128;  // 1-based: keys 1..128
+
+  {
+    TypeParam c;
+    testing::KeyedOracle oracle;
+    std::atomic<std::uint64_t> pushes{0};
+    std::atomic<std::uint64_t> pops{0};
+
+    testing::run_stress_workers(
+        kThreads, 7100,
+        [&](int, Xoshiro256& rng, const std::atomic<bool>& stop) {
+          testing::KeyedOracle::Recorder rec(oracle);
+          std::uint64_t local_push = 0;
+          std::uint64_t local_pop = 0;
+          std::uint64_t ops = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t key =
+                testing::skewed_key(rng, kHotKeys, kKeySpace);
+            const unsigned dice = static_cast<unsigned>(rng.below(100));
+            if (dice < 50) {
+              if (c.insert(key, 1)) {
+                rec.add(key, +1);
+                ++local_push;
+              }
+            } else if (dice < 90) {
+              if (c.erase(key)) {
+                rec.add(key, -1);
+                ++local_pop;
+              }
+            } else {
+              (void)c.contains(key);
+            }
+            ++ops;
+          }
+          pushes.fetch_add(local_push);
+          pops.fetch_add(local_pop);
+          return ops;
+        });
+
+    // Quiescent now: workers joined, recorders flushed.
+    std::int64_t oracle_total = 0;
+    if constexpr (kKeyedErase<TypeParam>) {
+      for (std::uint64_t k = 1; k <= kKeySpace; ++k) {
+        const std::int64_t net = oracle.net(k);
+        ASSERT_GE(net, 0) << "oracle net negative for key " << k;
+        oracle_total += net;
+        EXPECT_EQ(c.contains(k), net > 0) << "key " << k;
+      }
+      EXPECT_EQ(c.size(), static_cast<std::size_t>(oracle_total));
+    } else {
+      // pop() ignores the key, so only conservation is meaningful.
+      ASSERT_GE(pushes.load(), pops.load());
+      EXPECT_EQ(c.size(),
+                static_cast<std::size_t>(pushes.load() - pops.load()));
+    }
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace llxscx
