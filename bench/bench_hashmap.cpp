@@ -19,6 +19,7 @@
 #include "bench/bench_common.h"
 #include "ds/hashmap_llxscx.h"
 #include "util/random.h"
+#include "workload/key_stream.h"
 
 namespace llxscx {
 namespace {
@@ -70,13 +71,19 @@ CellResult grow_cell(int threads) {
 CellResult steady_cell(int threads) {
   constexpr std::uint64_t kRange = 1 << 16;
   LlxScxHashMap m(1);
+  // Key draws via the workload layer's uniform stream (DESIGN.md §13) —
+  // same distribution the hand-rolled rng.below produced, one generator
+  // idiom across every bench.
+  const workload::KeyStreamFactory streams(
+      workload::KeyStreamSpec::uniform(kRange));
   for (std::uint64_t k = 1; k <= kRange; k += 2) m.upsert(k, k);  // grow first
   const auto r = bench::run_phase(
       threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
-        Xoshiro256 rng(140 + t);
+        const auto stream = streams.make(140 + static_cast<unsigned>(t));
+        Xoshiro256 rng(240 + static_cast<unsigned>(t));
         std::uint64_t ops = 0;
         while (!stop.load(std::memory_order_relaxed)) {
-          const std::uint64_t key = 1 + rng.below(kRange);
+          const std::uint64_t key = stream->next();
           const unsigned dice = static_cast<unsigned>(rng.below(100));
           if (dice < 15) {
             m.upsert(key, key);

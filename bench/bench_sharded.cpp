@@ -26,6 +26,7 @@
 #include "ds/hashmap_llxscx.h"
 #include "service/sharded_map.h"
 #include "util/random.h"
+#include "workload/key_stream.h"
 
 namespace llxscx {
 namespace {
@@ -42,22 +43,23 @@ struct CellResult {
   std::uint64_t keys = 0;  // quiescent size() after the phase
 };
 
-// The VLL contention idiom (SNIPPETS.md §2): 80% of ops on a small hot
-// set — the regime where spreading hot keys over shards matters most.
-std::uint64_t skewed(Xoshiro256& rng) {
-  return rng.percent(80) ? 1 + rng.below(kHotKeys) : 1 + rng.below(kKeySpace);
-}
-
 template <class C>
 CellResult run_cell(C& c, const char* engine, const char* config, int shards,
                     int threads) {
+  // The VLL contention idiom (SNIPPETS.md §2), now drawn through the
+  // workload layer's hot-set stream (DESIGN.md §13): 80% of ops on a
+  // small hot set — the regime where spreading hot keys over shards
+  // matters most.
+  const workload::KeyStreamFactory streams(
+      workload::KeyStreamSpec::hot_set(kHotKeys, kKeySpace, 80));
   for (std::uint64_t k = 1; k <= kKeySpace; k += 2) c.insert(k, k);
   const auto r = bench::run_phase(
       threads, [&](int t, const std::atomic<bool>& stop) -> std::uint64_t {
-        Xoshiro256 rng(1100 + t);
+        const auto stream = streams.make(1100 + static_cast<unsigned>(t));
+        Xoshiro256 rng(2100 + static_cast<unsigned>(t));
         std::uint64_t ops = 0;
         while (!stop.load(std::memory_order_relaxed)) {
-          const std::uint64_t key = skewed(rng);
+          const std::uint64_t key = stream->next();
           const unsigned dice = static_cast<unsigned>(rng.below(100));
           if (dice < 40) {
             c.insert(key, key);

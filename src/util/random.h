@@ -1,6 +1,13 @@
 // xoshiro256** — the per-thread PRNG for the benches and stress tests.
-// Deterministic for a given seed (cells are reproducible), fast enough that
-// the generator never shows up in a profile next to a CAS.
+//
+// Determinism contract: every draw is a pure function of the seed and the
+// CALL SEQUENCE — same seed, same ordered sequence of next()/next_double()/
+// below()/percent() calls ⇒ same values, on every platform (no libc, no
+// std::uniform_* in the path). Benches and tests that want reproducible
+// cells seed per thread (seed_base + thread_index) and draw from that
+// thread's generator only. Note the contract covers a given repo revision:
+// changing a draw ALGORITHM (as the Lemire below() below did vs the old
+// modulo draw) legitimately remaps seeds to new sequences.
 #pragma once
 
 #include <cstdint>
@@ -34,9 +41,37 @@ class Xoshiro256 {
     return result;
   }
 
-  // Uniform in [0, bound). Modulo bias is < bound/2^64 — irrelevant for the
-  // key ranges (<= 1e6) these benches draw from.
-  std::uint64_t below(std::uint64_t bound) { return bound ? next() % bound : 0; }
+  // Uniform in [0, 1) with the full 53-bit double mantissa (Blackman &
+  // Vigna's recommended conversion: top 53 bits scaled by 2^-53). The
+  // Zipfian inverse-CDF consumes this; 53 bits resolve every entry of a
+  // harmonic table far beyond any key space the benches use.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [0, bound); 0 when bound == 0. Lemire's multiply-shift
+  // bounded draw (Fast Random Integer Generation in an Interval, 2019):
+  // take the high 64 bits of next() * bound — one multiply, no divide on
+  // the hot path — with the low-half rejection step that removes the
+  // modulo bias the old `next() % bound` carried. The rejection loop
+  // re-draws with probability < bound/2^64, so determinism-per-seed holds
+  // call-by-call: how many next() calls a below() consumes is itself a
+  // pure function of the seed and history.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      // 2^64 mod bound, computed in 64 bits as (-bound) mod bound.
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   bool percent(unsigned p) { return below(100) < p; }
 

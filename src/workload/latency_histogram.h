@@ -1,0 +1,93 @@
+// Log-bucket latency histogram (DESIGN.md §13) — the observability layer
+// of the workload subsystem. HdrHistogram-shaped: each power-of-two
+// octave splits into 2^kSubBits linear sub-buckets, so every recorded
+// value lands in a bucket whose width is ≤ 1/2^kSubBits (6.25%) of the
+// value — percentile error bounded by the bucket width, with a fixed
+// ~1000-entry footprint covering the full uint64 nanosecond range.
+//
+// Hot-path cost of record(): one bit-scan, one shift, one add — no
+// allocation, no branch on the bucket count. The driver keeps one
+// histogram PER THREAD PER OP-TYPE and merges after the phase joins
+// (merge is element-wise addition), so recording never shares a cache
+// line across threads. Percentile queries are offline walks over the
+// merged counts.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace llxscx::workload {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;
+  static constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;
+  // Values < kSubCount get exact unit buckets [0..kSubCount); each octave
+  // [2^m, 2^(m+1)) for m in [kSubBits, 64) contributes kSubCount more.
+  static constexpr std::size_t kBuckets =
+      kSubCount + (64 - kSubBits) * kSubCount;
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    if (v < kSubCount) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const auto sub = static_cast<std::size_t>((v >> shift) - kSubCount);
+    return kSubCount + static_cast<std::size_t>(shift) * kSubCount + sub;
+  }
+
+  // Smallest value mapping to bucket `idx` — the inverse of bucket_of on
+  // bucket lower edges. bound tests pin lower_bound(bucket_of(v)) ≤ v <
+  // lower_bound(bucket_of(v)+1).
+  static std::uint64_t bucket_lower_bound(std::size_t idx) {
+    if (idx < kSubCount) return idx;
+    const std::size_t shift = (idx - kSubCount) / kSubCount;
+    const std::size_t sub = (idx - kSubCount) % kSubCount;
+    return static_cast<std::uint64_t>(kSubCount + sub) << shift;
+  }
+
+  void record(std::uint64_t nanos) {
+    ++counts_[bucket_of(nanos)];
+    ++total_;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  // Value v such that at least q of the recorded samples are ≤ v: the
+  // UPPER edge of the bucket holding the ⌈q·total⌉-th sample (upper so
+  // the reported number is a true quantile bound; the ≤6.25% bucket
+  // width caps the overstatement). 0 when empty. Monotone in q by
+  // construction — the rank threshold grows, the cumulative walk only
+  // moves right.
+  std::uint64_t percentile(double q) const {
+    if (total_ == 0) return 0;
+    auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    if (rank < 1) rank = 1;
+    if (rank > total_) rank = total_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) {
+        return i + 1 < kBuckets ? bucket_lower_bound(i + 1) - 1
+                                : ~std::uint64_t{0};
+      }
+    }
+    return ~std::uint64_t{0};  // unreachable: seen reaches total_ ≥ rank
+  }
+
+  std::uint64_t p50() const { return percentile(0.50); }
+  std::uint64_t p95() const { return percentile(0.95); }
+  std::uint64_t p99() const { return percentile(0.99); }
+  std::uint64_t p999() const { return percentile(0.999); }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace llxscx::workload
