@@ -24,6 +24,7 @@
 #include "bench/bench_common.h"
 #include "ds/chromatic_llxscx.h"
 #include "ds/hashmap_llxscx.h"
+#include "service/batch.h"
 #include "service/sharded_map.h"
 #include "util/random.h"
 #include "workload/key_stream.h"
@@ -33,19 +34,24 @@ namespace {
 
 constexpr std::uint64_t kHotKeys = 64;
 constexpr std::uint64_t kKeySpace = 1 << 14;
+// Batched companion cells dispatch through container_apply_batch at this
+// width (fixed rather than a flag: parse_json_flag rejects unknown flags,
+// and the committed baseline wants one canonical scalar-vs-batched pair).
+constexpr int kBatch = 8;
 
 struct CellResult {
   const char* engine = "";
   std::string config;
   int shards = 0;  // 0 = bare single instance
   int threads = 0;
+  int batch = 1;  // dispatch width (1 = scalar ops)
   double ops_per_sec = 0;
   std::uint64_t keys = 0;  // quiescent size() after the phase
 };
 
 template <class C>
 CellResult run_cell(C& c, const char* engine, const char* config, int shards,
-                    int threads) {
+                    int threads, int batch) {
   // The VLL contention idiom (SNIPPETS.md §2), now drawn through the
   // workload layer's hot-set stream (DESIGN.md §13): 80% of ops on a
   // small hot set — the regime where spreading hot keys over shards
@@ -58,6 +64,26 @@ CellResult run_cell(C& c, const char* engine, const char* config, int shards,
         const auto stream = streams.make(1100 + static_cast<unsigned>(t));
         Xoshiro256 rng(2100 + static_cast<unsigned>(t));
         std::uint64_t ops = 0;
+        if (batch > 1) {
+          // Same op sequence as the scalar arm (same stream and dice
+          // seeds), grouped into kBatch-op batches: the shard-grouped
+          // single-guard dispatch (DESIGN.md §14) is the only variable.
+          const auto b = static_cast<std::size_t>(batch);
+          std::vector<BatchOp> batch_ops(b);
+          std::vector<BatchResult> results(b);
+          while (!stop.load(std::memory_order_relaxed)) {
+            for (std::size_t i = 0; i < b; ++i) {
+              const std::uint64_t key = stream->next();
+              const unsigned dice = static_cast<unsigned>(rng.below(100));
+              batch_ops[i] = dice < 40   ? BatchOp::insert(key, key)
+                             : dice < 80 ? BatchOp::erase(key)
+                                         : BatchOp::get(key);
+            }
+            container_apply_batch(c, batch_ops.data(), b, results.data());
+            ops += b;
+          }
+          return ops;
+        }
         while (!stop.load(std::memory_order_relaxed)) {
           const std::uint64_t key = stream->next();
           const unsigned dice = static_cast<unsigned>(rng.below(100));
@@ -77,6 +103,7 @@ CellResult run_cell(C& c, const char* engine, const char* config, int shards,
   cell.config = config;
   cell.shards = shards;
   cell.threads = threads;
+  cell.batch = batch;
   cell.ops_per_sec = r.ops_per_sec();
   cell.keys = c.size();
   return cell;
@@ -85,15 +112,19 @@ CellResult run_cell(C& c, const char* engine, const char* config, int shards,
 template <class Engine>
 void engine_cells(const char* engine, int threads,
                   std::vector<CellResult>& out) {
-  {
+  // Fresh instance per cell: the batched arm must not inherit the scalar
+  // arm's key population or limbo.
+  for (int batch : {1, kBatch}) {
     Engine single;
-    out.push_back(run_cell(single, engine, "single", 0, threads));
+    out.push_back(run_cell(single, engine, "single", 0, threads, batch));
   }
   for (int shards : {1, 2, 4}) {
-    ShardedMap<Engine> m(static_cast<std::size_t>(shards));
-    out.push_back(run_cell(m, engine,
-                           ("sharded-" + std::to_string(shards)).c_str(),
-                           shards, threads));
+    const std::string config = "sharded-" + std::to_string(shards);
+    for (int batch : {1, kBatch}) {
+      ShardedMap<Engine> m(static_cast<std::size_t>(shards));
+      out.push_back(
+          run_cell(m, engine, config.c_str(), shards, threads, batch));
+    }
   }
 }
 
@@ -103,9 +134,11 @@ bool emit_json(const char* path, const std::vector<CellResult>& cells) {
         const CellResult& c = cells[i];
         std::fprintf(f,
                      "{\"engine\": \"%s\", \"config\": \"%s\", \"shards\": %d, "
-                     "\"threads\": %d, \"ops_per_sec\": %.0f, \"keys\": %llu}",
-                     c.engine, c.config.c_str(), c.shards, c.threads,
-                     c.ops_per_sec, static_cast<unsigned long long>(c.keys));
+                     "\"threads\": %d, \"batch\": %d, \"batched\": %s, "
+                     "\"ops_per_sec\": %.0f, \"keys\": %llu}",
+                     c.engine, c.config.c_str(), c.shards, c.threads, c.batch,
+                     c.batch > 1 ? "true" : "false", c.ops_per_sec,
+                     static_cast<unsigned long long>(c.keys));
       });
 }
 
@@ -122,16 +155,19 @@ bool run(const char* json_path) {
     engine_cells<LlxScxChromatic>("chromatic", threads, cells);
   }
 
-  bench::Table t({"engine", "config", "threads", "ops/s", "keys"});
+  bench::Table t({"engine", "config", "threads", "batch", "ops/s", "keys"});
   for (const CellResult& c : cells) {
     t.add_row({c.engine, c.config, std::to_string(c.threads),
+               std::to_string(c.batch),
                bench::fmt(c.ops_per_sec / 1e6, 3) + "M",
                bench::fmt_u64(c.keys)});
   }
   t.print();
   std::printf("\nnote: 'sharded-1' prices the routing layer alone; the "
               "spread configs additionally split hot-key conflicts and "
-              "reclamation across domains.\n");
+              "reclamation across domains. batch=8 rows dispatch the same "
+              "op sequence through container_apply_batch (one guard per "
+              "shard group).\n");
   Epoch::drain_all_for_testing();
   return json_path == nullptr || emit_json(json_path, cells);
 }

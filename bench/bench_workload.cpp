@@ -99,6 +99,8 @@ struct Row {
   const char* phase_stream;
   const char* phase_mix;
   int threads;
+  int batch;     // dispatch width (1 = scalar)
+  bool batched;  // batch > 1: latency percentiles are batch-time/batch
   double seconds;
   double ops_per_sec;
   std::uint64_t keys;
@@ -107,20 +109,21 @@ struct Row {
 
 template <class Engine>
 void run_engine(const Profile& p, const std::vector<Combo>& combos,
-                int threads, std::vector<Row>& rows) {
-  std::uint64_t seed = 0xE12;
+                int threads, int batch, std::vector<Row>& rows) {
+  std::uint64_t seed = 0xE12;  // same seeds per combo across batch widths
   for (const Combo& combo : combos) {
     Engine c;  // fresh per combo: every regime's grow phase starts empty
     const wl::RegimeSpec regime = wl::make_regime(
-        combo.stream, combo.mix, p.grow_ms, p.steady_ms, p.churn_ms);
+        combo.stream, combo.mix, p.grow_ms, p.steady_ms, p.churn_ms, batch);
     const std::vector<wl::PhaseResult> phases =
         wl::run_regime(c, regime, threads, seed);
     seed += 0x100000;
     for (const wl::PhaseResult& ph : phases) {
       Row r{Engine::kName, combo.stream.name(), combo.mix.name,
             ph.phase,      ph.stream,           ph.mix,
-            ph.threads,    ph.seconds,          ph.ops_per_sec(),
-            ph.keys,       {}};
+            ph.threads,    ph.batch,            ph.batch > 1,
+            ph.seconds,    ph.ops_per_sec(),    ph.keys,
+            {}};
       for (unsigned i = 0; i < wl::kNumOpTypes; ++i) {
         const wl::OpTypeResult& t = ph.per_type[i];
         r.type[i] = {t.ops,           t.latency.total(), t.latency.p50(),
@@ -134,18 +137,18 @@ void run_engine(const Profile& p, const std::vector<Combo>& combos,
 }
 
 void run_all_engines(const Profile& p, const std::vector<Combo>& combos,
-                     int threads, std::vector<Row>& rows) {
-  run_engine<LlxScxHashMap>(p, combos, threads, rows);
-  run_engine<ShardedMap<LlxScxHashMap>>(p, combos, threads, rows);
+                     int threads, int batch, std::vector<Row>& rows) {
+  run_engine<LlxScxHashMap>(p, combos, threads, batch, rows);
+  run_engine<ShardedMap<LlxScxHashMap>>(p, combos, threads, batch, rows);
   if (!p.all_engines) {
-    run_engine<LlxScxChromatic>(p, combos, threads, rows);
+    run_engine<LlxScxChromatic>(p, combos, threads, batch, rows);
     return;
   }
-  run_engine<LlxScxBst>(p, combos, threads, rows);
-  run_engine<LlxScxPatricia>(p, combos, threads, rows);
-  run_engine<LlxScxChromatic>(p, combos, threads, rows);
-  run_engine<LlxScxMultiset>(p, combos, threads, rows);
-  run_engine<ShardedMap<LlxScxChromatic>>(p, combos, threads, rows);
+  run_engine<LlxScxBst>(p, combos, threads, batch, rows);
+  run_engine<LlxScxPatricia>(p, combos, threads, batch, rows);
+  run_engine<LlxScxChromatic>(p, combos, threads, batch, rows);
+  run_engine<LlxScxMultiset>(p, combos, threads, batch, rows);
+  run_engine<ShardedMap<LlxScxChromatic>>(p, combos, threads, batch, rows);
 }
 
 bool emit_json(const char* path, const std::vector<Row>& rows) {
@@ -156,10 +159,12 @@ bool emit_json(const char* path, const std::vector<Row>& rows) {
                      "{\"engine\": \"%s\", \"dist\": \"%s\", \"mix\": \"%s\", "
                      "\"phase\": \"%s\", \"phase_stream\": \"%s\", "
                      "\"phase_mix\": \"%s\", \"threads\": %d, "
+                     "\"batch\": %d, \"batched\": %s, "
                      "\"seconds\": %.4f, \"ops_per_sec\": %.0f, "
                      "\"keys\": %llu, \"ops\": {",
                      r.engine, r.dist, r.mix, r.phase, r.phase_stream,
-                     r.phase_mix, r.threads, r.seconds, r.ops_per_sec,
+                     r.phase_mix, r.threads, r.batch,
+                     r.batched ? "true" : "false", r.seconds, r.ops_per_sec,
                      static_cast<unsigned long long>(r.keys));
         for (unsigned t = 0; t < wl::kNumOpTypes; ++t) {
           std::fprintf(f, "%s\"%s\": %llu", t ? ", " : "",
@@ -189,12 +194,13 @@ std::string us(std::uint64_t ns) { return bench::fmt(ns / 1e3, 1); }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--profile=smoke|paper|prod] "
-               "[--mix=ycsb-a|ycsb-b|ycsb-c|R:I:E] [--json=<file>]\n",
+               "[--mix=ycsb-a|ycsb-b|ycsb-c|R:I:E] [--batch=N] "
+               "[--json=<file>]\n",
                argv0);
   std::exit(2);
 }
 
-bool run(const Profile& profile, const wl::OpMix* mix_override,
+bool run(const Profile& profile, const wl::OpMix* mix_override, int batch,
          const char* json_path) {
   // LLXSCX_BENCH_MS overrides every phase duration; LLXSCX_BENCH_THREADS
   // caps the profile's thread count (bench_common.h conventions).
@@ -213,20 +219,25 @@ bool run(const Profile& profile, const wl::OpMix* mix_override,
   std::printf(
       "E12: production workload driver — profile '%s' (%llu-key space, "
       "grow/steady/churn %d/%d/%d ms, %d threads), %zu combos, latency "
-      "sampled 1-in-%llu\n\n",
+      "sampled 1-in-%llu%s\n\n",
       p.name, static_cast<unsigned long long>(p.key_space), p.grow_ms,
       p.steady_ms, p.churn_ms, threads, combos.size(),
-      static_cast<unsigned long long>(wl::kLatencySampleEvery));
+      static_cast<unsigned long long>(wl::kLatencySampleEvery),
+      batch > 1 ? ", scalar + batched passes" : "");
 
+  // Scalar rows first, then (when --batch=N) the same grid re-run through
+  // N-op container_apply_batch dispatch — identical seeds per combo, so
+  // the batch column of a row pair is the only variable.
   std::vector<Row> rows;
-  run_all_engines(p, combos, threads, rows);
+  run_all_engines(p, combos, threads, 1, rows);
+  if (batch > 1) run_all_engines(p, combos, threads, batch, rows);
 
-  bench::Table t({"engine", "dist", "mix", "phase", "ops/s", "rd p50us",
-                  "rd p99us", "ins p50us", "ins p99us", "keys"});
+  bench::Table t({"engine", "dist", "mix", "phase", "batch", "ops/s",
+                  "rd p50us", "rd p99us", "ins p50us", "ins p99us", "keys"});
   for (const Row& r : rows) {
     const TypeCell& rd = r.type[static_cast<unsigned>(wl::OpType::kRead)];
     const TypeCell& in = r.type[static_cast<unsigned>(wl::OpType::kInsert)];
-    t.add_row({r.engine, r.dist, r.mix, r.phase,
+    t.add_row({r.engine, r.dist, r.mix, r.phase, bench::fmt_u64(r.batch),
                bench::fmt(r.ops_per_sec / 1e6, 3) + "M", us(rd.p50),
                us(rd.p99), us(in.p50), us(in.p99), bench::fmt_u64(r.keys)});
   }
@@ -235,7 +246,8 @@ bool run(const Profile& profile, const wl::OpMix* mix_override,
       "\nnote: 'dist'/'mix' name the regime's steady combination; grow "
       "phases always run the sequential ramp under the insert-heavy mix, "
       "churn the balanced insert/erase mix. Latency columns are sampled "
-      "log-bucket percentiles (bucket width <= 6.25%%).\n");
+      "log-bucket percentiles (bucket width <= 6.25%%); batch > 1 rows "
+      "book batch-time/batch per op.\n");
   return json_path == nullptr || emit_json(json_path, rows);
 }
 
@@ -244,6 +256,7 @@ int main_impl(int argc, char** argv) {
   const char* json_path = nullptr;
   static char mix_name_buf[32];
   std::optional<wl::OpMix> mix_override;
+  int batch = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--profile=", 10) == 0) {
@@ -256,13 +269,18 @@ int main_impl(int argc, char** argv) {
       mix_override = wl::parse_op_mix(arg + 6, mix_name_buf,
                                       sizeof(mix_name_buf));
       if (!mix_override) usage(argv[0]);
+    } else if (std::strncmp(arg, "--batch=", 8) == 0) {
+      const std::optional<int> b = wl::parse_batch(arg + 8);
+      if (!b) usage(argv[0]);
+      batch = *b;
     } else if (std::strncmp(arg, "--json=", 7) == 0 && arg[7] != '\0') {
       json_path = arg + 7;
     } else {
       usage(argv[0]);
     }
   }
-  return run(*profile, mix_override ? &*mix_override : nullptr, json_path)
+  return run(*profile, mix_override ? &*mix_override : nullptr, batch,
+             json_path)
              ? 0
              : 1;
 }

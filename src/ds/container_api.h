@@ -45,6 +45,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 
@@ -61,6 +62,30 @@ concept LlxScxContainer =
       { kc.contains(key) } -> std::same_as<bool>;
       { kc.size() } -> std::same_as<std::size_t>;
     };
+
+// Batched membership (DESIGN.md §14). An engine MAY additionally provide
+//   multi_get(keys, n, out)  — out[i] = contains(keys[i]), plain-read
+// traversals only (Proposition 2 — same 0-CAS shape as contains), free to
+// interleave the K lookups and prefetch frontier nodes for memory-level
+// parallelism. Engines without it get the serial fallback below, so the
+// whole engine matrix keeps one calling convention and the conformance
+// suite can drive multi_get on all of them.
+template <typename C>
+concept HasMultiGet = requires(const C& kc, const std::uint64_t* keys,
+                               std::size_t n, bool* out) {
+  { kc.multi_get(keys, n, out) };
+};
+
+template <typename C>
+  requires LlxScxContainer<C>
+void container_multi_get(const C& c, const std::uint64_t* keys, std::size_t n,
+                         bool* out) {
+  if constexpr (HasMultiGet<C>) {
+    c.multi_get(keys, n, out);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = c.contains(keys[i]);
+  }
+}
 
 // The StepCounts hook: run one (or a few) container operations and get the
 // exact shared-step delta this thread spent on them. All zeros when built

@@ -339,6 +339,73 @@ class BasicLlxScxHashMap {
   }
   bool contains(std::uint64_t key) const { return get(key).has_value(); }
 
+  // Batched membership (DESIGN.md §14): out[i] = contains(keys[i]).
+  //
+  // Up to kLanes lookups run as INTERLEAVED hand-over-hand chain walks:
+  // each lane advances one node per round-robin turn and prefetches its
+  // next frontier node, so the lanes' cache misses overlap instead of
+  // serializing — the same chase a scalar get() pays end to end per key.
+  //
+  // Shape contract: every shared step is the SAME instrumented next_of a
+  // scalar get() issues, in the same per-key sequence (head route, moved/
+  // done migration routing, then the ordered-chain walk) — 0 LLX, 0 CAS,
+  // per-key read counts identical to get(). One epoch guard covers the
+  // whole call; each lane's linearization point is per key, exactly as in
+  // get() (a batch is not a snapshot).
+  void multi_get(const std::uint64_t* keys, std::size_t n, bool* out) const {
+    typename Domain::Guard g;
+    constexpr std::size_t kLanes = 8;
+    enum : unsigned char { kLaneHead, kLaneWalk, kLaneDone };
+    const Table* t0 = table_.load(mo::acquire);
+    for (std::size_t base = 0; base < n; base += kLanes) {
+      const std::size_t m = std::min(kLanes, n - base);
+      const Table* t[kLanes];
+      const Node* cur[kLanes];
+      unsigned char st[kLanes];
+      for (std::size_t l = 0; l < m; ++l) {
+        t[l] = t0;
+        st[l] = kLaneHead;
+        __builtin_prefetch(t0->heads[bucket_of(keys[base + l], t0->mask)]);
+      }
+      std::size_t live = m;
+      while (live > 0) {
+        for (std::size_t l = 0; l < m; ++l) {
+          if (st[l] == kLaneDone) continue;
+          const std::uint64_t key = keys[base + l];
+          if (st[l] == kLaneHead) {
+            const Node* c = next_of(t[l]->heads[bucket_of(key, t[l]->mask)]);
+            if (c->kind == Node::kMoved) {
+              // Same migration routing (and linearization argument) as
+              // get(): M.next still naming the frozen chain means no
+              // bucket update can have committed anywhere.
+              const Node* fc = next_of(c);
+              if (fc->kind == Node::kDone) {
+                t[l] = t[l]->next.load(mo::acquire);
+                __builtin_prefetch(t[l]);
+                continue;  // retry this lane at the successor table's head
+              }
+              c = fc;
+            }
+            cur[l] = c;
+            __builtin_prefetch(c);
+            st[l] = kLaneWalk;
+            continue;
+          }
+          const Node* c = cur[l];
+          if (c->kind == Node::kItem && c->key < key) {
+            const Node* nx = next_of(c);
+            __builtin_prefetch(nx);
+            cur[l] = nx;
+          } else {
+            out[base + l] = c->kind == Node::kItem && c->key == key;
+            st[l] = kLaneDone;
+            --live;
+          }
+        }
+      }
+    }
+  }
+
   std::size_t size() const {
     std::size_t n = 0;
     for_each_bucket([&](std::size_t chain) { n += chain; },

@@ -120,6 +120,49 @@ class TreeTemplate {
   // no LLX, no CAS), surfaced for the container contract (DESIGN.md §9).
   bool contains(std::uint64_t key) const { return get(key).has_value(); }
 
+  // Batched membership (DESIGN.md §14): out[i] = contains(keys[i]).
+  //
+  // Up to kLanes descents run interleaved: each lane takes one root-to-
+  // leaf step per round-robin turn and prefetches the child it will visit
+  // next, overlapping the lanes' cache misses (a scalar walk serializes
+  // one miss per level). Every step is the SAME instrumented read_child a
+  // scalar get() issues, in the same per-key order — plain acquire reads
+  // only (Proposition 2), 0 LLX, 0 CAS, per-key read counts identical to
+  // get(). One epoch guard covers the call; linearization is per key,
+  // exactly as if the gets were issued back to back (a batch is not a
+  // snapshot).
+  void multi_get(const std::uint64_t* keys, std::size_t n, bool* out) const {
+    typename Domain::Guard g;
+    constexpr std::size_t kLanes = 8;
+    for (std::size_t base = 0; base < n; base += kLanes) {
+      const std::size_t m = n - base < kLanes ? n - base : kLanes;
+      const Node* cur[kLanes];  // nullptr ⇒ lane answered
+      for (std::size_t l = 0; l < m; ++l) {
+        const std::uint64_t key = keys[base + l];
+        const Node* c = read_child(self().root_ptr(), self().root_dir(key));
+        __builtin_prefetch(c);
+        cur[l] = c;
+      }
+      std::size_t live = m;
+      while (live > 0) {
+        for (std::size_t l = 0; l < m; ++l) {
+          const Node* c = cur[l];
+          if (c == nullptr) continue;
+          const std::uint64_t key = keys[base + l];
+          if (Derived::is_leaf(c)) {
+            out[base + l] = Derived::key_of(c) == key;
+            cur[l] = nullptr;
+            --live;
+          } else {
+            const Node* nx = read_child(c, Derived::dir_of(c, key));
+            __builtin_prefetch(nx);
+            cur[l] = nx;
+          }
+        }
+      }
+    }
+  }
+
   // User-leaf count by traversal (container contract: exact when
   // quiescent, a snapshot of one serialization under concurrency).
   // Unlike items()/depth_stats() this walk uses the instrumented acquire

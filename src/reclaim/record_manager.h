@@ -108,6 +108,12 @@ struct ReclaimStats {
 struct DomainReclaimStats {
   std::uint64_t outstanding = 0;
   std::uint64_t freed = 0;
+  // Blocks currently banked in the CALLING thread's size-classed free
+  // lists (PoolManager only; 0 for managers without pools). Thread-local
+  // by construction — per-thread lists are the whole point — but surfaced
+  // here so for_each_shard / bench teardown can report pool depth next to
+  // the domain's limbo accounting.
+  std::uint64_t pooled = 0;
 };
 
 // The compile-time face of the contract. alloc/retire/dealloc are member
@@ -242,14 +248,28 @@ struct LeakyManager {
   }
 };
 
-// --- PoolManager: per-thread free-list reuse on top of EBR --------------
+// --- PoolManager: size-classed per-thread free lists on top of EBR ------
 //
 // The throughput candidate: retired nodes still wait out the epoch grace
 // period (address stability is what the LLX/SCX proofs consume), but when
-// the grace period elapses the storage goes to a per-thread, per-type
-// free list instead of the allocator, and alloc() placement-news into a
-// recycled block when one is available. Node churn (every SCX replaces
-// nodes by design) then stops paying malloc/free on the steady state.
+// the grace period elapses the storage goes to a per-thread free list
+// instead of the allocator, and alloc() placement-news into a recycled
+// block when one is available. Node churn (every SCX replaces nodes by
+// design) then stops paying malloc/free on the steady state.
+//
+// Lists are keyed by SIZE CLASS, not by type (DESIGN.md §14): 16-byte
+// steps up to 256 bytes, then power-of-two classes up to 16 KiB (wide
+// enough for a full kMaxV=48 SCX descriptor). A block allocated for any
+// type in a class can be reused by any other type in that class — BST
+// internal nodes recycle into Patricia leaves, retired descriptors into
+// hashmap chain nodes — so mixed-structure churn shares one pool instead
+// of fragmenting across per-type lists. Types larger than the biggest
+// class fall back to plain new/delete (still grace-deferred).
+//
+// Retirement rides Epoch::retire_buffered: expired retirees move to the
+// free lists in chunks with ONE epoch check per chunk, amortizing the
+// seq_cst epoch load, the limbo lock, and the outstanding counter across
+// kRetireChunk nodes.
 //
 // The reuse is exactly as safe as delete-then-malloc reuse: a block only
 // reaches the pool after the same grace period that would have preceded
@@ -259,19 +279,43 @@ struct PoolManager {
   static constexpr const char* kName = "pool";
   using Guard = Epoch::Guard;
 
+  // 16-byte-granularity classes 0..15 cover 16..256 bytes; doubling
+  // classes 16..21 cover 512..16384. Returns kNoSizeClass above that.
+  static constexpr std::size_t kNumSizeClasses = 22;
+  static constexpr std::size_t kNoSizeClass = ~std::size_t{0};
+
+  static constexpr std::size_t size_class_of(std::size_t bytes) {
+    if (bytes == 0) return 0;
+    if (bytes <= 256) return (bytes + 15) / 16 - 1;
+    std::size_t cls = 16, cap = 512;
+    while (cap < bytes) {
+      cap <<= 1;
+      if (++cls >= kNumSizeClasses) return kNoSizeClass;
+    }
+    return cls;
+  }
+  static constexpr std::size_t size_class_bytes(std::size_t cls) {
+    return cls < 16 ? (cls + 1) * 16 : std::size_t{512} << (cls - 16);
+  }
+
   template <class T, class... Args>
   static T* alloc(Args&&... args) {
     static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
                   "pooled blocks use default operator new alignment");
     ++stats().allocs;
-    FreeList& fl = free_list<T>();
     void* block;
-    if (!fl.blocks.empty()) {
-      block = fl.blocks.back();
-      fl.blocks.pop_back();
-      ++stats().pool_hits;
-    } else {
+    constexpr std::size_t kCls = size_class_of(sizeof(T));
+    if constexpr (kCls == kNoSizeClass) {
       block = ::operator new(sizeof(T));
+    } else {
+      std::vector<void*>& fl = free_lists().cls[kCls];
+      if (!fl.empty()) {
+        block = fl.back();
+        fl.pop_back();
+        ++stats().pool_hits;
+      } else {
+        block = ::operator new(size_class_bytes(kCls));
+      }
     }
     return ::new (block) T(std::forward<Args>(args)...);
   }
@@ -281,11 +325,11 @@ struct PoolManager {
     ++stats().retires;
     // Grace first, pool after: the deleter runs on the SCANNING thread
     // once no pre-retire guard survives, destroys the node, and banks the
-    // storage in that thread's pool (per-thread lists, so no lock).
-    Epoch::retire_raw(p, [](void* q) {
+    // storage in that thread's class list (per-thread lists, so no lock).
+    Epoch::retire_buffered(p, [](void* q) {
       T* t = static_cast<T*>(q);
       t->~T();
-      free_list<T>().blocks.push_back(q);
+      bank<T>(q);
     });
   }
 
@@ -294,7 +338,7 @@ struct PoolManager {
     // Never published: no grace period owed; recycle immediately.
     ++stats().deallocs;
     p->~T();
-    free_list<T>().blocks.push_back(p);
+    bank<T>(p);
   }
 
   // Descriptors are recycled exactly like nodes — still grace-safe, so
@@ -315,7 +359,9 @@ struct PoolManager {
   static void drain() { Epoch::drain_all_for_testing(); }
 
   static DomainReclaimStats domain_stats() {
-    return {Epoch::outstanding(), Epoch::total_freed()};
+    std::uint64_t pooled = 0;
+    for (const std::vector<void*>& fl : free_lists().cls) pooled += fl.size();
+    return {Epoch::outstanding(), Epoch::total_freed(), pooled};
   }
 
   static ReclaimStats& stats() {
@@ -323,19 +369,44 @@ struct PoolManager {
     return s;
   }
 
+  // Blocks banked in this thread's list for `cls` (test visibility).
+  static std::size_t free_blocks(std::size_t cls) {
+    return cls < kNumSizeClasses ? free_lists().cls[cls].size() : 0;
+  }
+
+  // Return every banked block on THIS thread to the allocator. Tests that
+  // pin pool_hits deltas call this first so blocks left over from earlier
+  // tests in the same size class cannot satisfy (and miscount) an alloc.
+  static void purge_thread_cache() {
+    for (std::vector<void*>& fl : free_lists().cls) {
+      for (void* b : fl) ::operator delete(b);
+      fl.clear();
+    }
+  }
+
  private:
-  // Raw storage blocks of sizeof(T); freed for real at thread exit so the
-  // pool never shows up as a leak.
-  struct FreeList {
-    std::vector<void*> blocks;
-    ~FreeList() {
-      for (void* b : blocks) ::operator delete(b);
+  template <class T>
+  static void bank(void* q) {
+    constexpr std::size_t kCls = size_class_of(sizeof(T));
+    if constexpr (kCls == kNoSizeClass) {
+      ::operator delete(q);
+    } else {
+      free_lists().cls[kCls].push_back(q);
+    }
+  }
+
+  // Raw storage blocks of size_class_bytes(cls); freed for real at thread
+  // exit so the pool never shows up as a leak.
+  struct FreeLists {
+    std::vector<void*> cls[kNumSizeClasses];
+    ~FreeLists() {
+      for (std::vector<void*>& fl : cls)
+        for (void* b : fl) ::operator delete(b);
     }
   };
 
-  template <class T>
-  static FreeList& free_list() {
-    thread_local FreeList fl;
+  static FreeLists& free_lists() {
+    thread_local FreeLists fl;
     return fl;
   }
 };

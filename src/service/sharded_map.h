@@ -49,6 +49,7 @@
 #include "ds/container_api.h"
 #include "reclaim/epoch.h"
 #include "reclaim/record_manager.h"
+#include "service/batch.h"
 
 namespace llxscx {
 
@@ -132,17 +133,17 @@ class ShardedMap {
 
   // --- the container contract, routed --------------------------------
   bool insert(std::uint64_t key, std::uint64_t value) {
-    Shard& sh = shard_for(key);
+    Shard& sh = shard_ref(key);
     Epoch::DomainScope scope(sh.domain);
     return sh.engine->insert(key, value);
   }
   bool erase(std::uint64_t key) {
-    Shard& sh = shard_for(key);
+    Shard& sh = shard_ref(key);
     Epoch::DomainScope scope(sh.domain);
     return sh.engine->erase(key);
   }
   bool contains(std::uint64_t key) const {
-    const Shard& sh = shard_for(key);
+    const Shard& sh = shard_ref(key);
     Epoch::DomainScope scope(sh.domain);
     return sh.engine->contains(key);
   }
@@ -157,11 +158,83 @@ class ShardedMap {
     return total;
   }
 
+  // --- batched surface (DESIGN.md §14) --------------------------------
+  //
+  // Both verbs group ops by shard with ONE shard_for hash per key, then
+  // serve each shard's group under a single DomainScope + epoch Guard
+  // instead of one per op: the seq_cst reservation store + full fence of
+  // guard entry — the dominant fixed cost of a sharded lookup — amortizes
+  // across the group, and the engine's multi_get (interleaved prefetching
+  // traversals where implemented) overlaps the group's cache misses.
+  //
+  // Grouping is a stable counting sort, so ops on the SAME key (same
+  // shard by construction) keep their batch-relative order; ops on
+  // different keys may execute out of batch order across shards, which is
+  // indistinguishable from scalar ops racing on different keys.
+
+  // out[i] = contains(keys[i]). Duplicate keys welcome; n == 0 is a no-op.
+  void multi_get(const std::uint64_t* keys, std::size_t n, bool* out) const {
+    if (n == 0) return;
+    if (shards_.size() == 1) {
+      const Shard& sh = *shards_[0];
+      Epoch::DomainScope scope(sh.domain);
+      Epoch::Guard g;
+      container_multi_get(*sh.engine, keys, n, out);
+      return;
+    }
+    Scratch& sc = scratch();
+    group_by_shard(sc, n, [&](std::size_t i) { return keys[i]; });
+    sc.keys.resize(n);
+    for (std::size_t j = 0; j < n; ++j) sc.keys[j] = keys[sc.order[j]];
+    bool* hits = sc.hit_buf(n);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::size_t b = sc.start[s], e = sc.start[s + 1];
+      if (b == e) continue;
+      const Shard& sh = *shards_[s];
+      Epoch::DomainScope scope(sh.domain);
+      Epoch::Guard g;  // one reservation+fence for the whole group
+      container_multi_get(*sh.engine, sc.keys.data() + b, e - b, hits + b);
+    }
+    for (std::size_t j = 0; j < n; ++j) out[sc.order[j]] = hits[j];
+  }
+
+  // Mixed-op batch, answered positionally (see batch.h for the per-key
+  // program-order contract). Each shard group runs through the generic
+  // batch driver under the shard's scope, so its gets still coalesce into
+  // engine multi_get runs.
+  void apply_batch(const BatchOp* ops, std::size_t n, BatchResult* out) {
+    if (n == 0) return;
+    if (shards_.size() == 1) {
+      Shard& sh = *shards_[0];
+      Epoch::DomainScope scope(sh.domain);
+      container_apply_batch(*sh.engine, ops, n, out);
+      return;
+    }
+    Scratch& sc = scratch();
+    group_by_shard(sc, n, [&](std::size_t i) { return ops[i].key; });
+    sc.ops.resize(n);
+    sc.results.resize(n);
+    for (std::size_t j = 0; j < n; ++j) sc.ops[j] = ops[sc.order[j]];
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::size_t b = sc.start[s], e = sc.start[s + 1];
+      if (b == e) continue;
+      Shard& sh = *shards_[s];
+      Epoch::DomainScope scope(sh.domain);
+      container_apply_batch(*sh.engine, sc.ops.data() + b, e - b,
+                            sc.results.data() + b);
+    }
+    for (std::size_t j = 0; j < n; ++j) out[sc.order[j]] = sc.results[j];
+  }
+
   // --- service-layer surface ------------------------------------------
   std::size_t shard_count() const { return shards_.size(); }
-  std::size_t shard_of(std::uint64_t key) const {
+  // The routing hash, exposed so loops over many keys (batch grouping
+  // above, external dispatchers) compute it ONCE per key instead of
+  // re-hashing inside every contains/insert/erase call.
+  std::size_t shard_for(std::uint64_t key) const {
     return split_(key, shard_bits_);
   }
+  std::size_t shard_of(std::uint64_t key) const { return shard_for(key); }
 
   // Occupancy/stats hook: fn(index, const Engine&, DomainReclaimStats),
   // called under the shard's scope so engine walks pin the right epoch.
@@ -200,11 +273,55 @@ class ShardedMap {
     std::optional<Engine> engine;  // constructed under the domain's scope
   };
 
-  Shard& shard_for(std::uint64_t key) {
-    return *shards_[split_(key, shard_bits_)];
+  Shard& shard_ref(std::uint64_t key) { return *shards_[shard_for(key)]; }
+  const Shard& shard_ref(std::uint64_t key) const {
+    return *shards_[shard_for(key)];
   }
-  const Shard& shard_for(std::uint64_t key) const {
-    return *shards_[split_(key, shard_bits_)];
+
+  // Per-thread grouping buffers: batch dispatch allocates nothing on the
+  // steady state (vectors keep their high-water capacity).
+  struct Scratch {
+    std::vector<std::uint32_t> shard_ix;  // shard id per op (one hash each)
+    std::vector<std::uint32_t> order;     // op indices, grouped by shard
+    std::vector<std::uint32_t> cursor;    // counting-sort write heads
+    std::vector<std::uint32_t> start;     // group boundaries, size shards+1
+    std::vector<std::uint64_t> keys;     // gathered keys (multi_get)
+    std::vector<BatchOp> ops;            // gathered ops (apply_batch)
+    std::vector<BatchResult> results;    // per-group answers pre-scatter
+    std::unique_ptr<bool[]> hits;        // gathered answers (multi_get)
+    std::size_t hits_cap = 0;
+
+    bool* hit_buf(std::size_t n) {
+      if (hits_cap < n) {
+        hits = std::make_unique<bool[]>(n);
+        hits_cap = n;
+      }
+      return hits.get();
+    }
+  };
+  static Scratch& scratch() {
+    thread_local Scratch sc;
+    return sc;
+  }
+
+  // Stable counting sort of op indices [0, n) by shard: one shard_for
+  // hash per op, ascending index within each group (what preserves
+  // per-key program order). key_of(i) supplies the i-th op's key.
+  template <class KeyOf>
+  void group_by_shard(Scratch& sc, std::size_t n, KeyOf&& key_of) const {
+    const std::size_t ns = shards_.size();
+    sc.shard_ix.resize(n);
+    sc.order.resize(n);
+    sc.start.assign(ns + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = static_cast<std::uint32_t>(shard_for(key_of(i)));
+      sc.shard_ix[i] = s;
+      ++sc.start[s + 1];
+    }
+    for (std::size_t s = 0; s < ns; ++s) sc.start[s + 1] += sc.start[s];
+    sc.cursor.assign(sc.start.begin(), sc.start.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      sc.order[sc.cursor[sc.shard_ix[i]]++] = static_cast<std::uint32_t>(i);
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;

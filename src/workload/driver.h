@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "ds/container_api.h"
+#include "service/batch.h"
 #include "util/barrier.h"
 #include "util/random.h"
 #include "workload/key_stream.h"
@@ -47,6 +48,11 @@ struct PhaseSpec {
   OpMix mix;
   KeyStreamSpec stream;
   int millis = 200;
+  // Dispatch width: 1 issues scalar ops; N > 1 issues N-op batches through
+  // container_apply_batch (DESIGN.md §14), which is the batched fast path
+  // on engines/front-ends that implement it and a faithful serial
+  // equivalent everywhere else.
+  int batch = 1;
 };
 
 struct RegimeSpec {
@@ -59,14 +65,14 @@ struct RegimeSpec {
 // balanced insert/erase mix.
 inline RegimeSpec make_regime(const KeyStreamSpec& steady_stream,
                               const OpMix& steady_mix, int grow_ms,
-                              int steady_ms, int churn_ms) {
+                              int steady_ms, int churn_ms, int batch = 1) {
   RegimeSpec r;
   r.phases.push_back({"grow", kGrowMix,
                       KeyStreamSpec::sequential_ramp(steady_stream.key_space),
-                      grow_ms});
-  r.phases.push_back({"steady", steady_mix, steady_stream, steady_ms});
+                      grow_ms, batch});
+  r.phases.push_back({"steady", steady_mix, steady_stream, steady_ms, batch});
   KeyStreamSpec churn_stream = steady_stream;
-  r.phases.push_back({"churn", kChurnMix, churn_stream, churn_ms});
+  r.phases.push_back({"churn", kChurnMix, churn_stream, churn_ms, batch});
   return r;
 }
 
@@ -80,6 +86,7 @@ struct PhaseResult {
   const char* mix = "";
   const char* stream = "";
   int threads = 0;
+  int batch = 1;  // dispatch width the phase ran with (1 = scalar)
   double seconds = 0;
   std::uint64_t total_ops = 0;
   std::uint64_t keys = 0;  // engine size() after the phase (quiescent, §9)
@@ -122,6 +129,59 @@ PhaseResult run_phase(Engine& c, const PhaseSpec& spec, int threads,
       std::unique_ptr<KeyStream> stream = streams.make(seed);
       Xoshiro256 dice(seed ^ 0x9E3779B97F4A7C15ull);
       ThreadOut& mine = out[static_cast<std::size_t>(t)];
+      if (spec.batch > 1) {
+        // Batched dispatch: fill a batch from the same (mix dice, key
+        // stream) sources — op-for-op the sequence a scalar worker would
+        // have issued — then hand it to container_apply_batch. Latency
+        // sampling times whole batches 1-in-kLatencySampleEvery and books
+        // batch-time/batch per op (the honest per-op figure: each op in a
+        // timed batch observed the batch's amortized cost), under the
+        // `batched: true` flag in the JSON rows so percentile semantics
+        // stay distinguishable from individually-timed scalar ops.
+        const auto b = static_cast<std::size_t>(spec.batch);
+        std::vector<BatchOp> ops(b);
+        std::vector<BatchResult> results(b);
+        std::vector<OpType> types(b);
+        barrier.arrive_and_wait();
+        std::uint64_t batches = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (std::size_t i = 0; i < b; ++i) {
+            const OpType op = spec.mix.pick(dice);
+            const std::uint64_t key = stream->next();
+            types[i] = op;
+            switch (op) {
+              case OpType::kRead:
+                ops[i] = BatchOp::get(key);
+                break;
+              case OpType::kInsert:
+                ops[i] = BatchOp::insert(key, 1);  // value convention below
+                break;
+              case OpType::kErase:
+                ops[i] = BatchOp::erase(key);
+                break;
+            }
+          }
+          const bool timed = (batches % kLatencySampleEvery) == 0;
+          std::chrono::steady_clock::time_point t0;
+          if (timed) t0 = std::chrono::steady_clock::now();
+          container_apply_batch(c, ops.data(), b, results.data());
+          if (timed) {
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            const auto per_op = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count() /
+                static_cast<std::int64_t>(b));
+            for (std::size_t i = 0; i < b; ++i) {
+              mine.latency[static_cast<unsigned>(types[i])].record(per_op);
+            }
+          }
+          for (std::size_t i = 0; i < b; ++i) {
+            ++mine.ops[static_cast<unsigned>(types[i])];
+          }
+          ++batches;
+        }
+        return;
+      }
       barrier.arrive_and_wait();
       std::uint64_t n = 0;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -169,6 +229,7 @@ PhaseResult run_phase(Engine& c, const PhaseSpec& spec, int threads,
   r.mix = spec.mix.name;
   r.stream = spec.stream.name();
   r.threads = threads;
+  r.batch = spec.batch;
   r.seconds = std::chrono::duration<double>(end - start).count();
   for (const ThreadOut& o : out) {
     for (unsigned i = 0; i < kNumOpTypes; ++i) {

@@ -86,4 +86,17 @@ inline std::optional<OpMix> parse_op_mix(const char* s, char* name_buf,
   return OpMix{name_buf, r, i, e};
 }
 
+// "--batch=N" operand: a positive dispatch width (1 = scalar ops, N > 1 =
+// container_apply_batch over N-op batches). Bounded so a typo can't ask
+// the driver for a gigabyte of scratch. Returns nullopt on anything else.
+inline std::optional<int> parse_batch(const char* s) {
+  int b = 0;
+  int consumed = 0;
+  if (std::sscanf(s, "%d%n", &b, &consumed) != 1 || s[consumed] != '\0' ||
+      b < 1 || b > 4096) {
+    return std::nullopt;
+  }
+  return b;
+}
+
 }  // namespace llxscx::workload

@@ -1,0 +1,456 @@
+// Batched-operation conformance (DESIGN.md §14): container_multi_get /
+// container_apply_batch over EVERY engine — the seven structures and their
+// ShardedMap wrappers — plus the size-classed PoolManager and the
+// chunked buffered-retire path they ride.
+//
+// What is pinned here:
+//   - multi_get answers exactly like per-key contains (quiescently, and
+//     for stable keys under concurrent updates to disjoint keys);
+//   - apply_batch answers positionally and preserves per-key program
+//     order (batch.h's contract), including duplicate keys, empty
+//     batches, and n == 1;
+//   - the hashmap's interleaved lanes survive a live bucket migration
+//     (the kMoved/kDone routing is per lane);
+//   - PoolManager's free lists are size-classed: reuse is by address
+//     equality WITHIN a class and never across classes;
+//   - Epoch::retire_buffered parks retirees per (thread, domain) and a
+//     drain still reaches zero (nothing stranded in pending buffers).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "ds/bst_llxscx.h"
+#include "ds/chromatic_llxscx.h"
+#include "ds/container_api.h"
+#include "ds/hashmap_llxscx.h"
+#include "ds/multiset_llxscx.h"
+#include "ds/patricia_llxscx.h"
+#include "ds/queue_llxscx.h"
+#include "ds/stack_llxscx.h"
+#include "reclaim/epoch.h"
+#include "reclaim/record_manager.h"
+#include "service/batch.h"
+#include "service/sharded_map.h"
+#include "util/random.h"
+
+#include "tests/test_common.h"
+
+namespace llxscx {
+namespace {
+
+// Family traits, same derivation as the conformance suite: the sharded
+// wrapper inherits its engine's semantics.
+template <class C>
+struct EngineOf {
+  using type = C;
+};
+template <class E, class S>
+struct EngineOf<ShardedMap<E, S>> {
+  using type = E;
+};
+template <class C>
+using engine_t = typename EngineOf<C>::type;
+
+template <class C>
+constexpr bool kIsSeq = requires(engine_t<C> e) { e.pop(); } ||
+                        requires(engine_t<C> e) { e.dequeue(); };
+template <class C>
+constexpr bool kIsBag = requires(engine_t<C> e) { e.delete_one(1ull); };
+template <class C>
+constexpr bool kKeyedErase = !kIsSeq<C>;
+
+template <class C>
+std::uint64_t drained_outstanding(const C& c) {
+  if constexpr (requires {
+                  c.drain_all();
+                  c.reclaim_outstanding();
+                }) {
+    c.drain_all();
+    return c.reclaim_outstanding();
+  } else {
+    (void)c;
+    Epoch::drain_all_for_testing();
+    return Epoch::outstanding();
+  }
+}
+
+template <class C>
+class BatchConformance : public ::testing::Test {};
+
+using Containers = ::testing::Types<
+    LlxScxMultiset, LlxScxStack, LlxScxQueue, LlxScxHashMap, LlxScxBst,
+    LlxScxPatricia, LlxScxChromatic, ShardedMap<LlxScxMultiset>,
+    ShardedMap<LlxScxStack>, ShardedMap<LlxScxQueue>,
+    ShardedMap<LlxScxHashMap>, ShardedMap<LlxScxBst>,
+    ShardedMap<LlxScxPatricia>, ShardedMap<LlxScxChromatic>>;
+TYPED_TEST_SUITE(BatchConformance, Containers);
+
+// multi_get == per-key contains on a quiescent container, across present,
+// absent, and duplicate keys; empty batches and n == 1 are no-ops/scalar.
+TYPED_TEST(BatchConformance, MultiGetMatchesContainsQuiescent) {
+  {
+    TypeParam c;
+    for (std::uint64_t k = 2; k <= 128; k += 2) c.insert(k, 1);
+
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; k <= 140; ++k) keys.push_back(k);
+    keys.push_back(64);  // duplicates answered independently
+    keys.push_back(64);
+    keys.push_back(63);
+
+    std::vector<char> got(keys.size(), 2);
+    container_multi_get(c, keys.data(), keys.size(),
+                        reinterpret_cast<bool*>(got.data()));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(static_cast<bool>(got[i]), c.contains(keys[i]))
+          << "key " << keys[i] << " at position " << i;
+    }
+
+    bool one = false;
+    container_multi_get(c, keys.data(), 1, &one);
+    EXPECT_EQ(one, c.contains(keys[0]));
+    container_multi_get(c, keys.data(), 0, nullptr);  // empty: must not touch
+
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// apply_batch answers positionally: out[i] is exactly what the scalar verb
+// at position i would have returned, per family semantics — duplicate keys
+// in one batch exercise the per-key program-order contract.
+TYPED_TEST(BatchConformance, ApplyBatchPreservesInputOrderPerKey) {
+  {
+    TypeParam c;
+    if constexpr (kIsSeq<TypeParam>) {
+      // Sequence family: erase pops some element; conservation, not keys.
+      std::vector<BatchOp> ins, del;
+      for (std::uint64_t k = 1; k <= 6; ++k) ins.push_back(BatchOp::insert(k, 1));
+      for (std::uint64_t k = 1; k <= 6; ++k) del.push_back(BatchOp::erase(k));
+      std::vector<BatchResult> r(6);
+      container_apply_batch(c, ins.data(), 6, r.data());
+      for (int i = 0; i < 6; ++i) EXPECT_TRUE(r[i].ok) << "push " << i;
+      EXPECT_EQ(c.size(), 6u);
+      container_apply_batch(c, del.data(), 6, r.data());
+      for (int i = 0; i < 6; ++i) EXPECT_TRUE(r[i].ok) << "pop " << i;
+      EXPECT_EQ(c.size(), 0u);
+      BatchOp extra = BatchOp::erase(1);
+      BatchResult er;
+      container_apply_batch(c, &extra, 1, &er);
+      EXPECT_FALSE(er.ok) << "pop from empty";
+    } else if constexpr (kIsBag<TypeParam>) {
+      // Multiset family: duplicate inserts stack copies; erase removes one.
+      const BatchOp ops[] = {BatchOp::insert(7, 1), BatchOp::insert(7, 1),
+                             BatchOp::get(7),       BatchOp::erase(7),
+                             BatchOp::get(7),       BatchOp::erase(7),
+                             BatchOp::get(7)};
+      const bool expect[] = {true, true, true, true, true, true, false};
+      BatchResult r[7];
+      container_apply_batch(c, ops, 7, r);
+      for (int i = 0; i < 7; ++i) EXPECT_EQ(r[i].ok, expect[i]) << "op " << i;
+    } else {
+      // Map family: duplicate insert rejected, erase is by key.
+      const BatchOp ops[] = {BatchOp::insert(7, 1), BatchOp::get(7),
+                             BatchOp::insert(7, 2), BatchOp::erase(7),
+                             BatchOp::get(7),       BatchOp::erase(7)};
+      const bool expect[] = {true, true, false, true, false, false};
+      BatchResult r[6];
+      container_apply_batch(c, ops, 6, r);
+      for (int i = 0; i < 6; ++i) EXPECT_EQ(r[i].ok, expect[i]) << "op " << i;
+    }
+    container_apply_batch(c, nullptr, 0, nullptr);  // empty batch: no-op
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// A batch of mixed ops answers exactly like its scalar replay on an
+// identical container (keyed families: results are a function of per-key
+// history, which both dispatches preserve).
+TYPED_TEST(BatchConformance, ApplyBatchMatchesScalarReplay) {
+  if constexpr (!kKeyedErase<TypeParam>) {
+    GTEST_SKIP() << "sequence pops are order-global; covered above";
+  } else {
+    TypeParam batched, scalar;
+    Xoshiro256 rng(0xBA7C4);
+    constexpr std::size_t kOps = 192;  // > one multi_get run and one chunk
+    std::vector<BatchOp> ops;
+    for (std::size_t i = 0; i < kOps; ++i) {
+      const std::uint64_t key = 1 + rng.below(32);  // dense: plenty of dups
+      const unsigned dice = static_cast<unsigned>(rng.below(3));
+      ops.push_back(dice == 0   ? BatchOp::get(key)
+                    : dice == 1 ? BatchOp::insert(key, 1)
+                                : BatchOp::erase(key));
+    }
+    std::vector<BatchResult> got(kOps);
+    container_apply_batch(batched, ops.data(), kOps, got.data());
+    for (std::size_t i = 0; i < kOps; ++i) {
+      bool want = false;
+      switch (ops[i].kind) {
+        case BatchOpKind::kGet:
+          want = scalar.contains(ops[i].key);
+          break;
+        case BatchOpKind::kInsert:
+          want = scalar.insert(ops[i].key, ops[i].value);
+          break;
+        case BatchOpKind::kErase:
+          want = scalar.erase(ops[i].key);
+          break;
+      }
+      EXPECT_EQ(got[i].ok, want) << "op " << i;
+    }
+    EXPECT_EQ(batched.size(), scalar.size());
+    for (std::uint64_t k = 1; k <= 32; ++k) {
+      EXPECT_EQ(batched.contains(k), scalar.contains(k)) << "key " << k;
+    }
+  }
+}
+
+// Stable keys read true (and absent keys false) through multi_get while
+// other threads churn a DISJOINT key range — the locked-oracle shape of
+// the §9 stress, specialized to reads whose answers are invariant.
+TYPED_TEST(BatchConformance, MultiGetAgreesUnderConcurrentUpdates) {
+  if constexpr (!kKeyedErase<TypeParam>) {
+    GTEST_SKIP() << "sequence erase pops arbitrary elements — no key is "
+                    "stable under churn";
+  } else {
+    constexpr std::uint64_t kStableBase = 1000;
+    constexpr std::size_t kStable = 64;  // evens present, odds absent
+    constexpr int kUpdaters = 2;
+    {
+      TypeParam c;
+      for (std::size_t i = 0; i < kStable; i += 2) {
+        ASSERT_TRUE(c.insert(kStableBase + i, 1));
+      }
+      std::atomic<bool> stop{false};
+      std::vector<std::thread> updaters;
+      for (int t = 0; t < kUpdaters; ++t) {
+        updaters.emplace_back([&c, &stop, t] {
+          Xoshiro256 rng(0x5EED + static_cast<unsigned>(t));
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t key = 1 + rng.below(64);  // disjoint range
+            if (rng.percent(50)) {
+              c.insert(key, 1);
+            } else {
+              c.erase(key);
+            }
+          }
+        });
+      }
+      std::vector<std::uint64_t> keys(kStable);
+      for (std::size_t i = 0; i < kStable; ++i) keys[i] = kStableBase + i;
+      std::vector<char> got(kStable);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(
+                                std::max<std::uint64_t>(
+                                    100, testing::stress_millis() / 4));
+      std::uint64_t rounds = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        container_multi_get(c, keys.data(), kStable,
+                            reinterpret_cast<bool*>(got.data()));
+        for (std::size_t i = 0; i < kStable; ++i) {
+          ASSERT_EQ(static_cast<bool>(got[i]), i % 2 == 0)
+              << "stable key " << keys[i] << " misread in round " << rounds;
+        }
+        ++rounds;
+      }
+      stop.store(true);
+      for (auto& th : updaters) th.join();
+      EXPECT_GT(rounds, 0u);
+      EXPECT_EQ(drained_outstanding(c), 0u) << "drain-to-zero after churn";
+    }
+    Epoch::drain_all_for_testing();
+    EXPECT_EQ(Epoch::outstanding(), 0u);
+  }
+}
+
+// The hashmap's interleaved lanes route through a LIVE bucket migration:
+// a writer drives several resizes while stable keys are multi_got — the
+// per-lane kMoved/kDone handling must answer through old and new tables.
+TEST(HashMapMultiGet, SurvivesConcurrentResize) {
+  constexpr std::size_t kStable = 64;
+  BasicLlxScxHashMap<EbrManager> m(1);  // 1 bucket: growth guaranteed
+  for (std::uint64_t k = 1; k <= kStable; k += 2) m.upsert(k, k);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t k = 100'000; k < 140'000; ++k) m.upsert(k, k);
+    done.store(true);
+  });
+
+  std::vector<std::uint64_t> keys(kStable);
+  for (std::size_t i = 0; i < kStable; ++i) keys[i] = i + 1;
+  std::vector<char> got(kStable);
+  std::uint64_t rounds = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    m.multi_get(keys.data(), kStable, reinterpret_cast<bool*>(got.data()));
+    for (std::size_t i = 0; i < kStable; ++i) {
+      ASSERT_EQ(static_cast<bool>(got[i]), keys[i] % 2 == 1)
+          << "key " << keys[i] << " in round " << rounds;
+    }
+    ++rounds;
+  }
+  writer.join();
+  EXPECT_GT(rounds, 0u);
+  EXPECT_EQ(m.size(), kStable / 2 + 40'000);
+  EbrManager::drain();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// multi_get costs the same shared steps as the scalar loop — interleaving
+// reorders the misses, it must not add or remove reads (the pinned 0-CAS
+// Proposition 2 shape).
+TEST(MultiGetShape, SameStepsAsScalarGets) {
+  if constexpr (!kStepCounting) {
+    GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  } else {
+    LlxScxChromatic tree;
+    LlxScxHashMap map;
+    for (std::uint64_t k = 1; k <= 512; ++k) {
+      tree.insert(k, k);
+      map.insert(k, k);
+    }
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 1; k <= 600; k += 3) keys.push_back(k);
+    std::vector<char> got(keys.size());
+    const auto check = [&](const auto& c, const char* name) {
+      const StepCounts batched = steps_of([&] {
+        c.multi_get(keys.data(), keys.size(),
+                    reinterpret_cast<bool*>(got.data()));
+      });
+      const StepCounts scalar = steps_of([&] {
+        for (const std::uint64_t k : keys) c.contains(k);
+      });
+      EXPECT_EQ(batched.shared_reads, scalar.shared_reads) << name;
+      EXPECT_EQ(batched.llx_calls, scalar.llx_calls) << name;
+      EXPECT_EQ(batched.cas, 0u) << name << ": reads stay 0-CAS";
+      EXPECT_EQ(batched.shared_writes, 0u) << name;
+      EXPECT_EQ(batched.allocations, 0u) << name;
+    };
+    check(tree, "chromatic");
+    check(map, "hashmap");
+  }
+}
+
+// --- PoolManager size classes and buffered retire ------------------------
+
+TEST(PoolManagerSizeClasses, MappingPinned) {
+  static_assert(PoolManager::size_class_of(1) == 0);
+  static_assert(PoolManager::size_class_of(16) == 0);
+  static_assert(PoolManager::size_class_of(17) == 1);
+  static_assert(PoolManager::size_class_of(256) == 15);
+  static_assert(PoolManager::size_class_of(257) == 16);
+  static_assert(PoolManager::size_class_of(512) == 16);
+  static_assert(PoolManager::size_class_of(513) == 17);
+  static_assert(PoolManager::size_class_of(16384) == 21);
+  static_assert(PoolManager::size_class_of(16385) ==
+                PoolManager::kNoSizeClass);
+  static_assert(PoolManager::size_class_bytes(0) == 16);
+  static_assert(PoolManager::size_class_bytes(15) == 256);
+  static_assert(PoolManager::size_class_bytes(16) == 512);
+  static_assert(PoolManager::size_class_bytes(21) == 16384);
+  // Every block a class hands out is big enough for every size mapped to
+  // that class (the invariant that makes cross-type reuse sound).
+  for (std::size_t bytes = 1; bytes <= 16384; ++bytes) {
+    const std::size_t cls = PoolManager::size_class_of(bytes);
+    ASSERT_LT(cls, PoolManager::kNumSizeClasses);
+    ASSERT_GE(PoolManager::size_class_bytes(cls), bytes);
+  }
+}
+
+TEST(PoolManagerSizeClasses, ReuseByAddressEqualityPerClass) {
+  struct A24 {
+    char b[24];
+  };
+  struct B32 {
+    char b[32];
+  };
+  struct C40 {
+    char b[40];
+  };
+  static_assert(PoolManager::size_class_of(sizeof(A24)) ==
+                PoolManager::size_class_of(sizeof(B32)));
+  static_assert(PoolManager::size_class_of(sizeof(C40)) !=
+                PoolManager::size_class_of(sizeof(A24)));
+  PoolManager::drain();
+  PoolManager::purge_thread_cache();
+
+  A24* a = PoolManager::alloc<A24>();
+  const void* addr = a;
+  PoolManager::dealloc(a);
+  EXPECT_EQ(PoolManager::free_blocks(1), 1u);
+  // Same class, DIFFERENT type: the banked block comes straight back.
+  B32* b = PoolManager::alloc<B32>();
+  EXPECT_EQ(static_cast<const void*>(b), addr)
+      << "same-class alloc must reuse the banked block";
+  // Different class: must NOT alias the class-1 block.
+  PoolManager::dealloc(b);
+  C40* c = PoolManager::alloc<C40>();
+  EXPECT_NE(static_cast<const void*>(c), addr)
+      << "cross-class reuse would hand out an undersized block";
+  PoolManager::dealloc(c);
+  EXPECT_EQ(PoolManager::free_blocks(1), 1u);
+  EXPECT_EQ(PoolManager::free_blocks(2), 1u);
+  EXPECT_GE(PoolManager::domain_stats().pooled, 2u)
+      << "pool depth surfaces through domain_stats";
+  PoolManager::purge_thread_cache();
+  EXPECT_EQ(PoolManager::domain_stats().pooled, 0u);
+}
+
+struct ChunkProbe {
+  static std::atomic<int> destroyed;
+  ~ChunkProbe() { destroyed.fetch_add(1); }
+  int x = 0;
+};
+std::atomic<int> ChunkProbe::destroyed{0};
+
+TEST(BufferedRetire, ParksBelowChunkAndDrainsToZero) {
+  PoolManager::drain();  // flush any pending from earlier tests
+  const int d0 = ChunkProbe::destroyed.load();
+  const std::uint64_t out0 = Epoch::outstanding();
+  ASSERT_EQ(out0, 0u);
+  // Fewer than one chunk: retirees park in the thread's pending buffer —
+  // not yet published to limbo (that is the amortization), and certainly
+  // not destroyed.
+  for (int i = 0; i < 5; ++i) {
+    PoolManager::retire(PoolManager::alloc<ChunkProbe>());
+  }
+  EXPECT_EQ(Epoch::outstanding(), 0u) << "sub-chunk retires stay buffered";
+  EXPECT_EQ(ChunkProbe::destroyed.load(), d0);
+  // Drain publishes this thread's pending and then frees: nothing may be
+  // stranded in the buffer.
+  PoolManager::drain();
+  EXPECT_EQ(ChunkProbe::destroyed.load(), d0 + 5);
+  EXPECT_EQ(Epoch::outstanding(), 0u) << "drain-to-zero through the buffer";
+}
+
+TEST(BufferedRetire, PublishesInChunksOfKRetireChunk) {
+  PoolManager::drain();
+  ASSERT_EQ(Epoch::outstanding(), 0u);
+  const int d0 = ChunkProbe::destroyed.load();
+  // One chunk plus a remainder: exactly one chunk leaves the buffer (one
+  // epoch check, one limbo push — and possibly one scan, if the publish
+  // crossed the kScanPeriod cadence, in which case the chunk is already
+  // freed). The remainder must still be parked: neither in limbo nor
+  // destroyed.
+  const std::size_t n = Epoch::kRetireChunk + 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    PoolManager::retire(PoolManager::alloc<ChunkProbe>());
+  }
+  const std::uint64_t limbo = Epoch::outstanding();
+  const auto freed = static_cast<std::uint64_t>(ChunkProbe::destroyed.load() - d0);
+  EXPECT_EQ(limbo + freed, Epoch::kRetireChunk)
+      << "exactly one chunk published, remainder parked";
+  PoolManager::drain();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+  EXPECT_EQ(ChunkProbe::destroyed.load() - d0, static_cast<int>(n));
+}
+
+}  // namespace
+}  // namespace llxscx

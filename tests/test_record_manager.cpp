@@ -137,6 +137,10 @@ TEST(PoolManager, RetiredStorageIsReused) {
     int value;
   };
   PoolManager::drain();
+  // Free lists are size-classed, not per-type: blocks banked by earlier
+  // tests in PoolProbe's class would satisfy (and miscount) the first
+  // alloc below, so start from an empty thread cache.
+  PoolManager::purge_thread_cache();
   const ReclaimStats before = PoolManager::stats();
   PoolProbe* first = PoolManager::alloc<PoolProbe>(1);
   const void* first_addr = first;
@@ -158,6 +162,7 @@ TEST(PoolManager, DeallocRecyclesWithoutGrace) {
   struct AbortProbe {
     int x = 0;
   };
+  PoolManager::purge_thread_cache();  // same-class blocks from earlier tests
   const ReclaimStats before = PoolManager::stats();
   AbortProbe* p = PoolManager::alloc<AbortProbe>();
   const void* addr = p;
