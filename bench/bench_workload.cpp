@@ -14,8 +14,10 @@
 //       paper  committed-baseline size: every engine, 4 combos,
 //              100/200/100 ms phases, 2^14 keys
 //       prod   2^20 keys, 6 combos, 1 s phases, 8 threads
-//   --mix=ycsb-a|ycsb-b|ycsb-c|R:I:E
+//   --mix=ycsb-a|ycsb-b|ycsb-c|ycsb-e|R:I:E|R:I:E:S
 //       replace every combo's steady mix with one custom mix
+//   --engines=<name,...>         run only the named engines (kName
+//       strings); an unknown name is a usage error (exit 2)
 //   --json=<file>                emit the consolidated JSON
 //
 // LLXSCX_BENCH_MS (when set) overrides every phase duration of the
@@ -79,6 +81,9 @@ std::vector<Combo> combos_for(const Profile& p) {
       {wl::KeyStreamSpec::zipfian(n), wl::kYcsbA},
       {wl::KeyStreamSpec::zipfian(n), wl::kYcsbB},
       {wl::KeyStreamSpec::hot_set(64, n), wl::kYcsbB},
+      // The scan-heavy class this subsystem exists to measure (§15):
+      // YCSB-E's short ordered windows over a uniform stream.
+      {wl::KeyStreamSpec::uniform(n), wl::kYcsbE},
   };
   if (p.wide_combos) {
     out.push_back({wl::KeyStreamSpec::zipfian(n), wl::kYcsbC});
@@ -89,6 +94,7 @@ std::vector<Combo> combos_for(const Profile& p) {
 struct TypeCell {
   std::uint64_t ops = 0, samples = 0;
   std::uint64_t p50 = 0, p95 = 0, p99 = 0, p999 = 0;
+  std::uint64_t saturated = 0;  // samples clamped into the top bucket
 };
 
 struct Row {
@@ -107,9 +113,31 @@ struct Row {
   TypeCell type[wl::kNumOpTypes];
 };
 
+// Every engine the binary can run, in run order — the vocabulary the
+// --engines filter validates against (an unknown name is exit 2, not a
+// silent no-op run).
+constexpr const char* kKnownEngines[] = {
+    LlxScxHashMap::kName,
+    ShardedMap<LlxScxHashMap>::kName,
+    LlxScxBst::kName,
+    LlxScxPatricia::kName,
+    LlxScxChromatic::kName,
+    LlxScxMultiset::kName,
+    ShardedMap<LlxScxChromatic>::kName,
+};
+
+using EngineFilter = std::vector<std::string>;
+
+bool engine_enabled(const char* name, const EngineFilter& filter) {
+  return filter.empty() ||
+         std::find(filter.begin(), filter.end(), name) != filter.end();
+}
+
 template <class Engine>
 void run_engine(const Profile& p, const std::vector<Combo>& combos,
-                int threads, int batch, std::vector<Row>& rows) {
+                int threads, int batch, const EngineFilter& filter,
+                std::vector<Row>& rows) {
+  if (!engine_enabled(Engine::kName, filter)) return;
   std::uint64_t seed = 0xE12;  // same seeds per combo across batch widths
   for (const Combo& combo : combos) {
     Engine c;  // fresh per combo: every regime's grow phase starts empty
@@ -126,8 +154,10 @@ void run_engine(const Profile& p, const std::vector<Combo>& combos,
             {}};
       for (unsigned i = 0; i < wl::kNumOpTypes; ++i) {
         const wl::OpTypeResult& t = ph.per_type[i];
-        r.type[i] = {t.ops,           t.latency.total(), t.latency.p50(),
-                     t.latency.p95(), t.latency.p99(),   t.latency.p999()};
+        r.type[i] = {t.ops,           t.latency.total(),
+                     t.latency.p50(), t.latency.p95(),
+                     t.latency.p99(), t.latency.p999(),
+                     t.latency.saturated()};
       }
       rows.push_back(r);
     }
@@ -137,18 +167,21 @@ void run_engine(const Profile& p, const std::vector<Combo>& combos,
 }
 
 void run_all_engines(const Profile& p, const std::vector<Combo>& combos,
-                     int threads, int batch, std::vector<Row>& rows) {
-  run_engine<LlxScxHashMap>(p, combos, threads, batch, rows);
-  run_engine<ShardedMap<LlxScxHashMap>>(p, combos, threads, batch, rows);
-  if (!p.all_engines) {
-    run_engine<LlxScxChromatic>(p, combos, threads, batch, rows);
+                     int threads, int batch, const EngineFilter& filter,
+                     std::vector<Row>& rows) {
+  run_engine<LlxScxHashMap>(p, combos, threads, batch, filter, rows);
+  run_engine<ShardedMap<LlxScxHashMap>>(p, combos, threads, batch, filter,
+                                        rows);
+  if (!p.all_engines && filter.empty()) {
+    run_engine<LlxScxChromatic>(p, combos, threads, batch, filter, rows);
     return;
   }
-  run_engine<LlxScxBst>(p, combos, threads, batch, rows);
-  run_engine<LlxScxPatricia>(p, combos, threads, batch, rows);
-  run_engine<LlxScxChromatic>(p, combos, threads, batch, rows);
-  run_engine<LlxScxMultiset>(p, combos, threads, batch, rows);
-  run_engine<ShardedMap<LlxScxChromatic>>(p, combos, threads, batch, rows);
+  run_engine<LlxScxBst>(p, combos, threads, batch, filter, rows);
+  run_engine<LlxScxPatricia>(p, combos, threads, batch, filter, rows);
+  run_engine<LlxScxChromatic>(p, combos, threads, batch, filter, rows);
+  run_engine<LlxScxMultiset>(p, combos, threads, batch, filter, rows);
+  run_engine<ShardedMap<LlxScxChromatic>>(p, combos, threads, batch, filter,
+                                          rows);
 }
 
 bool emit_json(const char* path, const std::vector<Row>& rows) {
@@ -177,13 +210,14 @@ bool emit_json(const char* path, const std::vector<Row>& rows) {
           std::fprintf(
               f,
               "%s\"%s\": {\"samples\": %llu, \"p50\": %llu, \"p95\": %llu, "
-              "\"p99\": %llu, \"p999\": %llu}",
+              "\"p99\": %llu, \"p999\": %llu, \"saturated\": %llu}",
               t ? ", " : "", wl::op_name(static_cast<wl::OpType>(t)),
               static_cast<unsigned long long>(c.samples),
               static_cast<unsigned long long>(c.p50),
               static_cast<unsigned long long>(c.p95),
               static_cast<unsigned long long>(c.p99),
-              static_cast<unsigned long long>(c.p999));
+              static_cast<unsigned long long>(c.p999),
+              static_cast<unsigned long long>(c.saturated));
         }
         std::fprintf(f, "}}");
       });
@@ -194,14 +228,43 @@ std::string us(std::uint64_t ns) { return bench::fmt(ns / 1e3, 1); }
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--profile=smoke|paper|prod] "
-               "[--mix=ycsb-a|ycsb-b|ycsb-c|R:I:E] [--batch=N] "
-               "[--json=<file>]\n",
+               "[--mix=ycsb-a|ycsb-b|ycsb-c|ycsb-e|R:I:E|R:I:E:S] "
+               "[--batch=N] [--engines=<name,...>] [--json=<file>]\n"
+               "engines:",
                argv0);
+  for (const char* name : kKnownEngines) std::fprintf(stderr, " %s", name);
+  std::fprintf(stderr, "\n");
   std::exit(2);
 }
 
+// "--engines=a,b,c" operand: a comma-separated kName list. Any token that
+// is not a known engine name is a usage error — a typo must fail loudly,
+// not silently benchmark nothing.
+std::optional<EngineFilter> parse_engines(const char* csv) {
+  EngineFilter out;
+  const char* p = csv;
+  while (*p != '\0') {
+    const char* comma = std::strchr(p, ',');
+    const std::size_t len =
+        comma != nullptr ? static_cast<std::size_t>(comma - p) : std::strlen(p);
+    if (len == 0) return std::nullopt;
+    std::string name(p, len);
+    const bool known =
+        std::any_of(std::begin(kKnownEngines), std::end(kKnownEngines),
+                    [&](const char* k) { return name == k; });
+    if (!known) {
+      std::fprintf(stderr, "unknown engine '%s'\n", name.c_str());
+      return std::nullopt;
+    }
+    out.push_back(std::move(name));
+    p = comma != nullptr ? comma + 1 : p + len;
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
 bool run(const Profile& profile, const wl::OpMix* mix_override, int batch,
-         const char* json_path) {
+         const EngineFilter& engines, const char* json_path) {
   // LLXSCX_BENCH_MS overrides every phase duration; LLXSCX_BENCH_THREADS
   // caps the profile's thread count (bench_common.h conventions).
   Profile p = profile;
@@ -229,17 +292,20 @@ bool run(const Profile& profile, const wl::OpMix* mix_override, int batch,
   // N-op container_apply_batch dispatch — identical seeds per combo, so
   // the batch column of a row pair is the only variable.
   std::vector<Row> rows;
-  run_all_engines(p, combos, threads, 1, rows);
-  if (batch > 1) run_all_engines(p, combos, threads, batch, rows);
+  run_all_engines(p, combos, threads, 1, engines, rows);
+  if (batch > 1) run_all_engines(p, combos, threads, batch, engines, rows);
 
   bench::Table t({"engine", "dist", "mix", "phase", "batch", "ops/s",
-                  "rd p50us", "rd p99us", "ins p50us", "ins p99us", "keys"});
+                  "rd p50us", "rd p99us", "ins p50us", "ins p99us",
+                  "sc p50us", "sc p99us", "keys"});
   for (const Row& r : rows) {
     const TypeCell& rd = r.type[static_cast<unsigned>(wl::OpType::kRead)];
     const TypeCell& in = r.type[static_cast<unsigned>(wl::OpType::kInsert)];
+    const TypeCell& sc = r.type[static_cast<unsigned>(wl::OpType::kScan)];
     t.add_row({r.engine, r.dist, r.mix, r.phase, bench::fmt_u64(r.batch),
                bench::fmt(r.ops_per_sec / 1e6, 3) + "M", us(rd.p50),
-               us(rd.p99), us(in.p50), us(in.p99), bench::fmt_u64(r.keys)});
+               us(rd.p99), us(in.p50), us(in.p99), us(sc.p50), us(sc.p99),
+               bench::fmt_u64(r.keys)});
   }
   t.print();
   std::printf(
@@ -256,6 +322,7 @@ int main_impl(int argc, char** argv) {
   const char* json_path = nullptr;
   static char mix_name_buf[32];
   std::optional<wl::OpMix> mix_override;
+  EngineFilter engines;
   int batch = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -273,6 +340,10 @@ int main_impl(int argc, char** argv) {
       const std::optional<int> b = wl::parse_batch(arg + 8);
       if (!b) usage(argv[0]);
       batch = *b;
+    } else if (std::strncmp(arg, "--engines=", 10) == 0) {
+      std::optional<EngineFilter> f = parse_engines(arg + 10);
+      if (!f) usage(argv[0]);
+      engines = std::move(*f);
     } else if (std::strncmp(arg, "--json=", 7) == 0 && arg[7] != '\0') {
       json_path = arg + 7;
     } else {
@@ -280,7 +351,7 @@ int main_impl(int argc, char** argv) {
     }
   }
   return run(*profile, mix_override ? &*mix_override : nullptr, batch,
-             json_path)
+             engines, json_path)
              ? 0
              : 1;
 }

@@ -122,6 +122,65 @@ class BasicLlxScxBst
                                 Base::to_node(ls.field(Node::kRight)));
   }
 
+  // range() pruning: may the dir subtree of interior n intersect [lo, hi]?
+  // Immutable routing key only (left subtree < n->key ≤ right subtree), so
+  // a pruning decision costs no shared reads.
+  static bool scan_dir(const Node* n, std::size_t dir, std::uint64_t lo,
+                       std::uint64_t hi) {
+    return dir == Node::kLeft ? lo < n->key : hi >= n->key;
+  }
+
+  // insert_all() interval tracking: narrow [lo, hi] to the keys routed
+  // into n's dir subtree.
+  static void clamp_interval(const Node* n, std::size_t dir, std::uint64_t& lo,
+                             std::uint64_t& hi) {
+    if (dir == Node::kLeft) {
+      if (n->key > 0 && n->key - 1 < hi) hi = n->key - 1;
+    } else {
+      if (n->key > lo) lo = n->key;
+    }
+  }
+
+  // insert_all() group bound: 2·G+1 fresh nodes per group must fit the
+  // ScxOp fresh array; no balance bookkeeping here, so the cap is flat.
+  static constexpr std::size_t kGroupCap = 16;
+  std::size_t group_cap(const Node* /*p*/, const Node* /*t*/) const {
+    return kGroupCap;
+  }
+
+  // insert_all() group build (DESIGN.md §15): ONE SCX installs a balanced
+  // fresh subtree over the group's new leaves plus the displaced leaf's
+  // copy. The displaced leaf and the run keys all live inside the target
+  // edge's key interval, so plain key order is the tree order.
+  Fresh<Node> build_group(Op& op, Node* l, const Snapshot& /*lt*/,
+                          const std::uint64_t* ks, std::size_t m,
+                          std::uint64_t value) {
+    std::pair<std::uint64_t, std::uint64_t> leaves[kGroupCap + 1];
+    std::size_t cnt = 0;
+    bool placed = false;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (!placed && l->key < ks[a]) {
+        leaves[cnt++] = {l->key, l->value};
+        placed = true;
+      }
+      leaves[cnt++] = {ks[a], value};
+    }
+    if (!placed) leaves[cnt++] = {l->key, l->value};
+    return build_balanced(op, leaves, 0, cnt);
+  }
+
+  // Balanced external subtree over sorted leaves [b, e): internal keys are
+  // the smallest key of their right subtree (the dir_of convention).
+  Fresh<Node> build_balanced(Op& op,
+                             const std::pair<std::uint64_t, std::uint64_t>* ls,
+                             std::size_t b, std::size_t e) {
+    if (e - b == 1) return op.freshly(ls[b].first, ls[b].second);
+    const std::size_t mid = b + (e - b + 1) / 2;  // left-heavy
+    auto left = build_balanced(op, ls, b, mid);
+    auto right = build_balanced(op, ls, mid, e);
+    return op.freshly(ls[mid].first, left.get(), right.get());
+  }
+
   Node* root_ptr() { return &root_; }
   const Node* root_ptr() const { return &root_; }
 

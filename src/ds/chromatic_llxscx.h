@@ -215,6 +215,82 @@ class BasicLlxScxChromatic
     if (scopy->weight >= 2) cleanup(key);
   }
 
+  // range() pruning / insert_all() interval tracking: identical key
+  // routing to the BST (left subtree < n->key ≤ right subtree).
+  static bool scan_dir(const Node* n, std::size_t dir, std::uint64_t lo,
+                       std::uint64_t hi) {
+    return dir == Node::kLeft ? lo < n->key : hi >= n->key;
+  }
+  static void clamp_interval(const Node* n, std::size_t dir, std::uint64_t& lo,
+                             std::uint64_t& hi) {
+    if (dir == Node::kLeft) {
+      if (n->key > 0 && n->key - 1 < hi) hi = n->key - 1;
+    } else {
+      if (n->key > lo) lo = n->key;
+    }
+  }
+
+  // insert_all() group bound, chosen for the ≤-1-violation-per-group
+  // invariant (DESIGN.md §15). A 2-key group's fresh subtree is
+  // root(w(t)−1) over one weight-0 inner internal and three weight-1
+  // leaves — exact path sums for any w(t), and at most ONE violation:
+  //   w(t) = 1 → the inner internal is red under the red root (red-red);
+  //              legal only when p is black, else the root itself would
+  //              add a second — so that case shrinks to a scalar insert
+  //   w(t) = 2 → root weight 1: no violation at all
+  //   w(t) ≥ 3 → root overweight (one violation)
+  static constexpr std::size_t kGroupCap = 2;
+  std::size_t group_cap(const Node* p, const Node* t) const {
+    return (p->weight == 0 && t->weight == 1) ? 1 : kGroupCap;
+  }
+
+  // insert_all() group build: balanced fresh subtree, root carries
+  // w(t)−1, every other internal 0, every leaf 1 — each root-to-leaf sum
+  // is (w(t)−1) + 0… + 1 = w(t), so weighted-path equality is preserved
+  // exactly, like the scalar insert shape.
+  Fresh<Node> build_group(Op& op, Node* l, const Snapshot& /*lt*/,
+                          const std::uint64_t* ks, std::size_t m,
+                          std::uint64_t value) {
+    std::pair<std::uint64_t, std::uint64_t> leaves[kGroupCap + 1];
+    std::size_t cnt = 0;
+    bool placed = false;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (!placed && l->key < ks[a]) {
+        leaves[cnt++] = {l->key, l->value};
+        placed = true;
+      }
+      leaves[cnt++] = {ks[a], value};
+    }
+    if (!placed) leaves[cnt++] = {l->key, l->value};
+    return build_weighted(op, leaves, 0, cnt, l->weight - 1);
+  }
+
+  Fresh<Node> build_weighted(Op& op,
+                             const std::pair<std::uint64_t, std::uint64_t>* ls,
+                             std::size_t b, std::size_t e, std::uint32_t w) {
+    if (e - b == 1) {
+      return op.freshly(ls[b].first, ls[b].second, std::uint32_t{1});
+    }
+    const std::size_t mid = b + (e - b + 1) / 2;  // left-heavy
+    auto left = build_weighted(op, ls, b, mid, 0);
+    auto right = build_weighted(op, ls, mid, e, 0);
+    return op.freshly(ls[mid].first, w, left.get(), right.get());
+  }
+
+  // Per-group violation cleanup. For m = 2 the left-heavy build puts the
+  // weight-0 inner internal over the two SMALLEST leaves, and min(group)
+  // is always among those two, so one cleanup toward ks[0] walks past
+  // both candidate violations (red-red at the inner internal, overweight
+  // at the group root).
+  void after_insert_all(const std::uint64_t* ks, std::size_t m, Node* repl,
+                        Node* p) {
+    if (m == 1) {
+      after_insert(ks[0], repl, p);
+      return;
+    }
+    if (repl->weight == 0 || repl->weight >= 2) cleanup(ks[0]);
+  }
+
   // Fix every violation on the search path toward `key`. Each fix SCX
   // either eliminates a violation or moves it rootward along this same
   // path, so the loop exits with the creating update's violation gone.

@@ -44,10 +44,12 @@
 // tests pin k+1 CAS / f+2 writes per container operation.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "util/stats.h"
 
@@ -84,6 +86,130 @@ void container_multi_get(const C& c, const std::uint64_t* keys, std::size_t n,
     c.multi_get(keys, n, out);
   } else {
     for (std::size_t i = 0; i < n; ++i) out[i] = c.contains(keys[i]);
+  }
+}
+
+// --- range / scan / bulk-insert verbs (DESIGN.md §15) ----------------------
+//
+// Engines MAY additionally provide any of:
+//   range(lo, hi, out)   — append every ⟨key, value⟩ with lo ≤ key ≤ hi to
+//                          out in ASCENDING key order, return the count
+//                          (ordered engines; the trees' is VLX-validated)
+//   scan_n(limit, out)   — append up to `limit` pairs in NO particular
+//                          order (unordered engines; the hash map's walks
+//                          buckets under per-bucket guards)
+//   insert_all(keys, n, value) — bulk insert of a sorted ascending run,
+//                          return how many keys were newly inserted (the
+//                          trees amortize one SCX per leaf group)
+//   items()              — full ⟨key, value⟩ snapshot, quiescent only
+// The fallbacks below keep the verbs total over the whole engine matrix:
+// containers without a native range answer from items() (sorted + filtered
+// — quiescent-exact, like items() itself), and insert_all degrades to the
+// scalar insert loop. So every engine keeps one calling convention and the
+// conformance suite drives range/scan/bulk on all of them.
+
+using RangeOut = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+
+template <typename C>
+concept HasRange = requires(const C& kc, std::uint64_t lo, std::uint64_t hi,
+                            RangeOut& out) {
+  { kc.range(lo, hi, out) } -> std::same_as<std::size_t>;
+};
+
+template <typename C>
+concept HasScanN = requires(const C& kc, std::size_t limit, RangeOut& out) {
+  { kc.scan_n(limit, out) } -> std::same_as<std::size_t>;
+};
+
+template <typename C>
+concept HasInsertAll = requires(C c, const std::uint64_t* keys, std::size_t n,
+                                std::uint64_t value) {
+  { c.insert_all(keys, n, value) } -> std::same_as<std::size_t>;
+};
+
+template <typename C>
+concept HasItems = requires(const C& kc) {
+  { kc.items() } -> std::same_as<RangeOut>;
+};
+
+// Ordered range over any engine. Native where available; otherwise a
+// sorted filter of items() (quiescent-exact — the serial fallback).
+template <typename C>
+  requires LlxScxContainer<C>
+std::size_t container_range(const C& c, std::uint64_t lo, std::uint64_t hi,
+                            RangeOut& out) {
+  if constexpr (HasRange<C>) {
+    return c.range(lo, hi, out);
+  } else {
+    static_assert(HasItems<C>, "engine needs range() or items()");
+    const std::size_t base = out.size();
+    for (const auto& [k, v] : c.items()) {
+      if (k >= lo && k <= hi) out.emplace_back(k, v);
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+    return out.size() - base;
+  }
+}
+
+// Bounded unordered scan over any engine (what the workload driver's Scan
+// op uses on unordered engines).
+template <typename C>
+  requires LlxScxContainer<C>
+std::size_t container_scan_n(const C& c, std::size_t limit, RangeOut& out) {
+  if constexpr (HasScanN<C>) {
+    return c.scan_n(limit, out);
+  } else if constexpr (HasRange<C>) {
+    const std::size_t base = out.size();
+    c.range(0, ~std::uint64_t{0}, out);
+    if (out.size() - base > limit) {
+      out.resize(base + limit);
+    }
+    return out.size() - base;
+  } else {
+    static_assert(HasItems<C>, "engine needs scan_n(), range() or items()");
+    const std::size_t base = out.size();
+    for (const auto& [k, v] : c.items()) {
+      if (out.size() - base >= limit) break;
+      out.emplace_back(k, v);
+    }
+    return out.size() - base;
+  }
+}
+
+// The workload driver's scan verb: a bounded window starting at `lo`.
+// Ordered engines answer the interval [lo, lo+span−1] (saturating);
+// engines that only sample answer scan_n(limit) — preferred over the
+// range fallback so a hash-map scan stays a bounded bucket walk instead
+// of a full-table sort per op.
+template <typename C>
+  requires LlxScxContainer<C>
+std::size_t container_scan(const C& c, std::uint64_t lo, std::uint64_t span,
+                           std::size_t limit, RangeOut& out) {
+  if constexpr (HasScanN<C>) {
+    return c.scan_n(limit, out);
+  } else if constexpr (HasRange<C>) {
+    const std::uint64_t hi =
+        lo + (span - 1) < lo ? ~std::uint64_t{0} : lo + (span - 1);
+    return c.range(lo, hi, out);
+  } else {
+    return container_scan_n(c, limit, out);
+  }
+}
+
+// Bulk insert of a sorted ascending run; serial fallback for engines
+// without a native grouped build.
+template <typename C>
+  requires LlxScxContainer<C>
+std::size_t container_insert_all(C& c, const std::uint64_t* keys,
+                                 std::size_t n, std::uint64_t value) {
+  if constexpr (HasInsertAll<C>) {
+    return c.insert_all(keys, n, value);
+  } else {
+    std::size_t inserted = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (c.insert(keys[i], value)) ++inserted;
+    }
+    return inserted;
   }
 }
 

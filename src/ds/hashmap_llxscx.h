@@ -449,6 +449,32 @@ class BasicLlxScxHashMap {
     return out;
   }
 
+  // Explicitly-UNORDERED bounded scan — the container contract's scan
+  // verb for engines with no key order (DESIGN.md §15): appends up to
+  // `limit` ⟨key, value⟩ pairs in bucket order, returns how many were
+  // appended. Same per-bucket guard discipline as occupancy()/items()
+  // (memory-safe under concurrency, routed through the migration states),
+  // and the same contract: a sample of one serialization, not a snapshot.
+  std::size_t scan_n(
+      std::size_t limit,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+    const std::size_t base = out.size();
+    std::size_t nbuckets;
+    {
+      typename Domain::Guard g;
+      nbuckets = table_.load(mo::acquire)->heads.size();
+    }
+    for (std::size_t b = 0; b < nbuckets && out.size() - base < limit; ++b) {
+      typename Domain::Guard g;
+      const Table* t = table_.load(mo::acquire);
+      if (b >= t->heads.size()) break;  // defensive; tables never shrink
+      scan_bucket(t, b, [](std::size_t) {}, [&](const Node* n) {
+        if (out.size() - base < limit) out.emplace_back(n->key, n->value);
+      });
+    }
+    return out.size() - base;
+  }
+
  private:
   // Table descriptor: one generation of the bucket array plus the
   // migration state toward the next. Reachable from table_ (current) and

@@ -223,6 +223,26 @@ class BasicLlxScxMultiset {
     return out;
   }
 
+  // Ordered range scan (DESIGN.md §15): appends every ⟨key, count⟩ with
+  // lo ≤ key ≤ hi in ascending order, returns how many were appended.
+  // The list is sorted, so this is the plain-read get() walk extended to
+  // an interval — guard-protected and memory-safe under concurrency,
+  // per-element linearizable like get() (a range is not a snapshot here;
+  // the trees' VLX-validated range is the snapshot-strength one).
+  std::size_t range(
+      std::uint64_t lo, std::uint64_t hi,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+    typename Domain::Guard g;
+    const std::size_t base = out.size();
+    const Node* cur = next_of(&head_);
+    while (!cur->tail && cur->key < lo) cur = next_of(cur);
+    while (!cur->tail && cur->key <= hi) {
+      out.emplace_back(cur->key, cur->count);
+      cur = next_of(cur);
+    }
+    return out.size() - base;
+  }
+
  private:
   static Node* to_node(std::uint64_t w) { return reinterpret_cast<Node*>(w); }
   static Node* next_of(const Node* n) {

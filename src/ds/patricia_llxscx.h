@@ -152,6 +152,81 @@ class BasicLlxScxPatricia
                                 Base::to_node(ln.field(Node::kRight)));
   }
 
+  // range() pruning: a branch's dir subtree covers exactly the key
+  // interval [prefix | dir·2^bit, prefix | dir·2^bit + 2^bit − 1] — a
+  // prefix scan is just a range over that interval. The bit-64 root
+  // pseudo-branch has the whole trie on its left, nothing on its right.
+  static bool scan_dir(const Node* n, std::size_t dir, std::uint64_t lo,
+                       std::uint64_t hi) {
+    if (n->bit >= 64) return dir == Node::kLeft;
+    const std::uint64_t base =
+        n->prefix | (std::uint64_t{dir != 0} << n->bit);
+    const std::uint64_t top = base | ((std::uint64_t{1} << n->bit) - 1);
+    return base <= hi && top >= lo;
+  }
+
+  // insert_all() interval tracking: the same subtree interval, exact —
+  // nested within the caller's, so plain assignment narrows correctly.
+  static void clamp_interval(const Node* n, std::size_t dir, std::uint64_t& lo,
+                             std::uint64_t& hi) {
+    if (n->bit >= 64) return;  // root pseudo-branch: no constraint
+    lo = n->prefix | (std::uint64_t{dir != 0} << n->bit);
+    hi = lo | ((std::uint64_t{1} << n->bit) - 1);
+  }
+
+  // insert_all() group bound: 2·G+1 fresh nodes must fit the ScxOp fresh
+  // array; the trie has no balance bookkeeping, so the cap is flat.
+  static constexpr std::size_t kGroupCap = 16;
+  std::size_t group_cap(const Node* /*p*/, const Node* /*t*/) const {
+    return kGroupCap;
+  }
+
+  // insert_all() group build: the canonical compressed trie over the
+  // group's new leaves plus ONE copy of the displaced node t, treated as
+  // an atomic item. Items are ordered by representative key (a leaf's
+  // key; t's branch prefix = the low end of its covered interval — group
+  // keys never fall inside that interval, they all mismatch t's prefix,
+  // so representative order is trie order and every split bit chosen
+  // between items stays above t->bit).
+  Fresh<Node> build_group(Op& op, Node* t, const Snapshot& lt,
+                          const std::uint64_t* ks, std::size_t m,
+                          std::uint64_t value) {
+    struct Item {
+      std::uint64_t rep;
+      Node* node;
+    };
+    Item items[kGroupCap + 1];
+    const std::uint64_t trep = t->leaf ? t->key() : t->prefix;
+    std::size_t cnt = 0;
+    bool placed = false;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (!placed && trep < ks[a]) {
+        items[cnt++] = {trep, copy_of(op, t, lt).get()};
+        placed = true;
+      }
+      items[cnt++] = {ks[a], op.freshly(ks[a], value).get()};
+    }
+    if (!placed) items[cnt++] = {trep, copy_of(op, t, lt).get()};
+    // cnt ≥ 2 (≥ 1 new key + the copy of t): the top is always a branch.
+    return build_trie(op, items, 0, cnt);
+  }
+
+  // Canonical compressed trie over sorted items [b, e), e − b ≥ 2: split
+  // at the highest bit where the first and last representatives differ
+  // (all items in between agree on everything above it).
+  template <class Item>
+  Fresh<Node> build_trie(Op& op, const Item* it, std::size_t b,
+                         std::size_t e) {
+    const unsigned sb = 63 - static_cast<unsigned>(
+                                 std::countl_zero(it[b].rep ^ it[e - 1].rep));
+    std::size_t mid = b + 1;
+    while (!((it[mid].rep >> sb) & 1)) ++mid;
+    const std::uint64_t pfx = it[b].rep & ~((std::uint64_t{2} << sb) - 1);
+    Node* l = mid - b == 1 ? it[b].node : build_trie(op, it, b, mid).get();
+    Node* r = e - mid == 1 ? it[mid].node : build_trie(op, it, mid, e).get();
+    return op.freshly(pfx, sb, l, r);
+  }
+
   Node* root_ptr() { return &root_; }
   const Node* root_ptr() const { return &root_; }
 

@@ -163,6 +163,157 @@ class TreeTemplate {
     }
   }
 
+  // Ordered range scan (DESIGN.md §15): appends every user ⟨key, value⟩
+  // with lo ≤ key ≤ hi to `out` in ascending key order and returns how
+  // many were appended. Linearizable snapshot of [lo, hi], at VLX cost:
+  //
+  //   walk the pruned subtree, capturing a VLX witness ⟨n, info(n)⟩ for
+  //   every interior node BEFORE reading its children, then VLX the whole
+  //   witness set once at the end.
+  //
+  // A witness is two acquire loads (the node's info field and the named
+  // descriptor's state) — NOT an LLX: nothing is linked for an SCX, no
+  // freeze, no CAS, no write, no allocation of records. A witness is only
+  // accepted if its descriptor is DECIDED (committed/aborted); an
+  // in-progress descriptor is helped to completion and the walk restarts.
+  // That decided-state check is what makes the final VLX sufficient:
+  //
+  //   · a decided descriptor performs no further field writes (committed ⇒
+  //     its update-CAS already happened and fresh-value discipline keeps it
+  //     from succeeding twice; aborted ⇒ some freeze failed, so no helper
+  //     ever reaches the update-CAS), and
+  //   · any NEW SCX touching a witnessed node must freeze it, replacing
+  //     info — which the final VLX detects.
+  //
+  // So info(n) unchanged at VLX time ⇒ n's child fields were untouched for
+  // the whole [witness, VLX] window; witnesses are captured parent-before-
+  // child, so the windows chain from the root and the collected leaves
+  // form a snapshot that was the tree's [lo, hi] contents at the VLX
+  // point. Conflicts restart a bounded re-walk of the pruned subtree
+  // (like get_validated's retry), after helping the conflicting SCX —
+  // so a failed attempt pushes the system forward.
+  //
+  // Per attempt: 0 LLX, 0 CAS, 0 shared writes, 0 record allocations;
+  // shared reads = one per descended edge + three per interior node
+  // (witness info + state, VLX) — pinned exactly in test_range.
+  //
+  // Pruning is the engine's scan_dir(n, dir, lo, hi) hook: may the dir
+  // subtree of n intersect [lo, hi]? It reads only immutable routing
+  // fields, so pruning costs no shared reads.
+  std::size_t range(std::uint64_t lo, std::uint64_t hi,
+                    std::vector<std::pair<std::uint64_t, std::uint64_t>>& out)
+      const {
+    if (lo > hi) return 0;
+    typename Domain::Guard g;
+    const std::size_t base = out.size();
+    std::vector<LinkedLlx> w;
+    std::vector<const Node*> stack;
+    for (;;) {
+      out.resize(base);
+      w.clear();
+      stack.clear();
+      bool restart = !push_scan_children(self().root_ptr(), lo, hi, w, stack);
+      while (!restart && !stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        if (Derived::is_leaf(n)) {
+          // Leaf payload is immutable; reachability is the parent
+          // witness's job. No witness needed.
+          if (self().is_user_leaf(n)) {
+            const std::uint64_t k = Derived::key_of(n);
+            if (k >= lo && k <= hi) out.emplace_back(k, Derived::value_of(n));
+          }
+          continue;
+        }
+        restart = !push_scan_children(n, lo, hi, w, stack);
+      }
+      if (restart) continue;
+      if (vlx(w.data(), w.size())) return out.size() - base;
+    }
+  }
+
+  // Bulk insert of a sorted ascending run (DESIGN.md §15); duplicates in
+  // the run and keys already present are consumed without effect. Returns
+  // how many keys were newly inserted. Each maximal group of consecutive
+  // run keys routing to the same insertion edge p→t is installed by ONE
+  // SCX — same V = ⟨p, t⟩, R = ⟨t⟩ shape as a scalar insert, but the
+  // fresh subtree carries the whole group (2·G+1 fresh nodes for G keys),
+  // amortizing the per-key LLX/SCX/descriptor cost that makes a grow
+  // phase insert-bound. Grouping is exact, not heuristic: the walk
+  // narrows the key interval [glo, ghi] routed to the target edge via the
+  // engine's clamp_interval hook, and a run key joins the group iff it
+  // lies in the interval and does not descend into the (snapshot-derived)
+  // target — i.e. iff its own scalar walk would end at this edge. The
+  // engine's group_cap hook bounds the group (fresh-array bound; the
+  // chromatic tree also shrinks it to keep ≤1 balance violation per
+  // group, see chromatic_llxscx.h).
+  std::size_t insert_all(const std::uint64_t* keys, std::size_t n,
+                         std::uint64_t value) {
+    typename Domain::Guard g;
+    std::size_t inserted = 0;
+    std::vector<std::uint64_t> grp;
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t key = keys[i];
+      // Interval-tracked walk to the insertion edge p→t.
+      Node* p = self().root_ptr();
+      std::size_t dir = self().root_dir(key);
+      std::uint64_t glo = 0;
+      std::uint64_t ghi = ~std::uint64_t{0};
+      Derived::clamp_interval(p, dir, glo, ghi);
+      Node* t = read_child(p, dir);
+      while (Derived::can_descend(t, key)) {
+        p = t;
+        dir = Derived::dir_of(p, key);
+        Derived::clamp_interval(p, dir, glo, ghi);
+        t = read_child(p, dir);
+      }
+      auto lp = llx(p);
+      if (!lp.ok()) continue;  // frozen or finalized underfoot: re-walk
+      t = to_node(lp.field(dir));
+      if (Derived::can_descend(t, key)) continue;  // edge moved: re-walk
+      // Collect the group from the snapshot-derived target.
+      const std::size_t cap = self().group_cap(p, t);
+      const bool t_leaf = Derived::is_leaf(t);
+      const std::uint64_t tkey = t_leaf ? Derived::key_of(t) : 0;
+      grp.clear();
+      std::size_t j = i;
+      while (j < n && grp.size() < cap) {
+        const std::uint64_t k = keys[j];
+        if (k > ghi) break;                       // leaves this edge's interval
+        if (Derived::can_descend(t, k)) break;    // would walk INTO t (Patricia)
+        if ((t_leaf && k == tkey) || (!grp.empty() && grp.back() == k)) {
+          ++j;  // already present / duplicate within the run: consume
+          continue;
+        }
+        grp.push_back(k);
+        ++j;
+      }
+      if (grp.empty()) {
+        i = j;  // a run of present keys / duplicates: nothing to install
+        continue;
+      }
+      auto lt = llx(t);
+      if (!lt.ok()) continue;
+      Op op;
+      op.link(lp);
+      op.remove(lt);
+      auto repl =
+          grp.size() == 1
+              ? self().build_insert(op, t, lt, grp[0], value)
+              : self().build_group(op, t, lt, grp.data(), grp.size(), value);
+      op.write(p, dir, repl);
+      Node* installed = repl.get();
+      if (op.commit()) {
+        self().after_insert_all(grp.data(), grp.size(), installed, p);
+        inserted += grp.size();
+        i = j;
+      }
+      // Failed SCX: re-walk the same position (i unchanged).
+    }
+    return inserted;
+  }
+
   // User-leaf count by traversal (container contract: exact when
   // quiescent, a snapshot of one serialization under concurrency).
   // Unlike items()/depth_stats() this walk uses the instrumented acquire
@@ -336,6 +487,39 @@ class TreeTemplate {
   // inherit these and pay nothing.
   void after_insert(std::uint64_t, Node*, Node*) {}
   void after_erase(std::uint64_t, Node*) {}
+  // Post-commit hook for a committed insert_all group (the chromatic tree
+  // hangs its per-group violation cleanup here; keys are the group's new
+  // keys, ascending).
+  void after_insert_all(const std::uint64_t*, std::size_t, Node*, Node*) {}
+
+  // Capture a VLX witness for interior node n: accept only a DECIDED
+  // descriptor (see range()); help an in-progress one and report failure
+  // so the caller restarts. Two instrumented acquire loads, no LLX.
+  static bool witness(const Node* n, std::vector<LinkedLlx>& w) {
+    Stats::count_read();
+    ScxRecord* info = n->info_.load(mo::acquire);
+    Stats::count_read();
+    if (info->state_.load(mo::acquire) == ScxRecord::kInProgress) {
+      detail_help(info);
+      return false;
+    }
+    w.push_back(LinkedLlx{const_cast<Node*>(n), info});
+    return true;
+  }
+
+  // range() helper: witness interior node n, then push its unpruned
+  // children right-to-left so the stack pops them in ascending key order.
+  // Returns false when the witness failed (caller restarts the walk).
+  bool push_scan_children(const Node* n, std::uint64_t lo, std::uint64_t hi,
+                          std::vector<LinkedLlx>& w,
+                          std::vector<const Node*>& stack) const {
+    if (!witness(n, w)) return false;
+    for (std::size_t c = Node::kNumMut; c-- > 0;) {
+      if (!Derived::scan_dir(n, c, lo, hi)) continue;  // immutable-field test
+      if (const Node* child = read_child(n, c)) stack.push_back(child);
+    }
+    return true;
+  }
 
   // Quiescent teardown for the Derived destructor (retired-but-undrained
   // nodes are the policy's). Iterative: a degenerate tree would blow the

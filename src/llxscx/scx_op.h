@@ -118,7 +118,13 @@ class ScxOp {
  public:
   using Domain = LlxScxDomain<Reclaim>;
   static constexpr std::size_t kMut = NodeT::kNumMut;
-  static constexpr std::size_t kMaxFresh = 8;
+  // 40 fresh slots: the per-op tree shapes need ≤ 6, but a leaf-group bulk
+  // build (tree_template.h insert_all, DESIGN.md §15) installs a subtree of
+  // G new leaves + 1 displaced-leaf copy + G internals = 2G + 1 fresh nodes
+  // in ONE SCX; G is capped at 16 by the trees' group_cap hooks, so 40
+  // leaves headroom. Purely an array bound — nfresh_ is runtime, so the
+  // pinned f+2-writes / alloc shapes of the scalar ops are unaffected.
+  static constexpr std::size_t kMaxFresh = 40;
   static constexpr std::size_t kMaxOrphans = 4;
 
   ScxOp() = default;

@@ -226,6 +226,81 @@ class ShardedMap {
     for (std::size_t j = 0; j < n; ++j) out[sc.order[j]] = sc.results[j];
   }
 
+  // --- range / scan / bulk verbs (DESIGN.md §15) -----------------------
+
+  // Ordered range over ALL shards: the splitter is a hash, so any key
+  // interval may touch every shard. Each shard answers container_range
+  // under its own DomainScope + Guard into a per-shard slice (ascending
+  // by contract), then the slices are k-way merged — the result is
+  // ascending and duplicate-free because the shards partition the key
+  // space. Consistency is per shard (each slice is one shard's range
+  // guarantee, VLX-validated on the trees); the merge of slices taken at
+  // different instants is NOT a cross-shard snapshot, same as size().
+  std::size_t range(std::uint64_t lo, std::uint64_t hi, RangeOut& out) const {
+    const std::size_t base = out.size();
+    std::vector<RangeOut> per(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const Shard& sh = *shards_[s];
+      Epoch::DomainScope scope(sh.domain);
+      Epoch::Guard g;
+      container_range(*sh.engine, lo, hi, per[s]);
+    }
+    std::vector<std::size_t> ix(per.size(), 0);
+    for (;;) {
+      std::size_t best = per.size();
+      for (std::size_t s = 0; s < per.size(); ++s) {
+        if (ix[s] < per[s].size() &&
+            (best == per.size() ||
+             per[s][ix[s]].first < per[best][ix[best]].first)) {
+          best = s;
+        }
+      }
+      if (best == per.size()) break;
+      out.push_back(per[best][ix[best]++]);
+    }
+    return out.size() - base;
+  }
+
+  // Unordered bounded scan, shard by shard — surfaced only when the
+  // engine itself is an unordered scanner, so container_scan() keeps
+  // preferring the ordered range on sharded trees.
+  std::size_t scan_n(std::size_t limit, RangeOut& out) const
+    requires HasScanN<Engine>
+  {
+    const std::size_t base = out.size();
+    for (const auto& sh : shards_) {
+      if (out.size() - base >= limit) break;
+      Epoch::DomainScope scope(sh->domain);
+      Epoch::Guard g;
+      sh->engine->scan_n(limit - (out.size() - base), out);
+    }
+    return out.size() - base;
+  }
+
+  // Bulk insert of a sorted run: group keys by shard (the counting sort
+  // is stable, so each shard's slice stays ascending), then ONE
+  // DomainScope + Guard per non-empty shard around the engine's own
+  // insert_all — the trees' grouped leaf builds ride through.
+  std::size_t insert_all(const std::uint64_t* keys, std::size_t n,
+                         std::uint64_t value) {
+    if (n == 0) return 0;
+    Scratch& sc = scratch();
+    group_by_shard(sc, n, [&](std::size_t i) { return keys[i]; });
+    sc.keys.resize(n);
+    for (std::size_t j = 0; j < n; ++j) sc.keys[j] = keys[sc.order[j]];
+    std::size_t inserted = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::size_t b = sc.start[s], e = sc.start[s + 1];
+      if (b == e) continue;
+      Shard& sh = *shards_[s];
+      Epoch::DomainScope scope(sh.domain);
+      Epoch::Guard g;
+      inserted +=
+          container_insert_all(*sh.engine, sc.keys.data() + b, e - b, value);
+    }
+    return inserted;
+  }
+
   // --- service-layer surface ------------------------------------------
   std::size_t shard_count() const { return shards_.size(); }
   // The routing hash, exposed so loops over many keys (batch grouping

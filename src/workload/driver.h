@@ -43,6 +43,13 @@ namespace llxscx::workload {
 // percent while a 200 ms phase still lands ~10^5 samples per type.
 inline constexpr std::uint64_t kLatencySampleEvery = 8;
 
+// Scan op shape (DESIGN.md §15): a bounded window of ~100 keys starting at
+// the stream's key — YCSB-E's "short ranges" — answered by container_scan,
+// which is the VLX-validated range() on ordered engines and a bounded
+// bucket walk on the hash map.
+inline constexpr std::uint64_t kScanSpan = 100;
+inline constexpr std::size_t kScanLimit = 100;
+
 struct PhaseSpec {
   const char* name = "steady";  // "grow" / "steady" / "churn" by convention
   OpMix mix;
@@ -142,47 +149,79 @@ PhaseResult run_phase(Engine& c, const PhaseSpec& spec, int threads,
         std::vector<BatchOp> ops(b);
         std::vector<BatchResult> results(b);
         std::vector<OpType> types(b);
+        RangeOut scan_buf;
         barrier.arrive_and_wait();
         std::uint64_t batches = 0;
+        std::uint64_t scans = 0;
         while (!stop.load(std::memory_order_relaxed)) {
+          // Each round draws exactly b ops from the (dice, stream) pair —
+          // the same sequence a scalar worker would issue. Scans have no
+          // BatchOp kind (a batch is point ops; DESIGN.md §14), so a kScan
+          // draw executes scalar inline without consuming a batch slot and
+          // is timed individually; the remaining point ops form the batch.
+          std::size_t nb = 0;
           for (std::size_t i = 0; i < b; ++i) {
             const OpType op = spec.mix.pick(dice);
             const std::uint64_t key = stream->next();
-            types[i] = op;
+            if (op == OpType::kScan) {
+              const bool scan_timed = (scans % kLatencySampleEvery) == 0;
+              std::chrono::steady_clock::time_point s0;
+              if (scan_timed) s0 = std::chrono::steady_clock::now();
+              scan_buf.clear();
+              container_scan(c, key, kScanSpan, kScanLimit, scan_buf);
+              if (scan_timed) {
+                const auto dt = std::chrono::steady_clock::now() - s0;
+                mine.latency[static_cast<unsigned>(OpType::kScan)].record(
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            dt)
+                            .count()));
+              }
+              ++mine.ops[static_cast<unsigned>(OpType::kScan)];
+              ++scans;
+              continue;
+            }
+            types[nb] = op;
             switch (op) {
               case OpType::kRead:
-                ops[i] = BatchOp::get(key);
+                ops[nb] = BatchOp::get(key);
                 break;
               case OpType::kInsert:
-                ops[i] = BatchOp::insert(key, 1);  // value convention below
+                ops[nb] = BatchOp::insert(key, 1);  // value convention below
                 break;
               case OpType::kErase:
-                ops[i] = BatchOp::erase(key);
+                ops[nb] = BatchOp::erase(key);
                 break;
+              case OpType::kScan:
+                break;  // handled above
             }
+            ++nb;
           }
-          const bool timed = (batches % kLatencySampleEvery) == 0;
-          std::chrono::steady_clock::time_point t0;
-          if (timed) t0 = std::chrono::steady_clock::now();
-          container_apply_batch(c, ops.data(), b, results.data());
-          if (timed) {
-            const auto dt = std::chrono::steady_clock::now() - t0;
-            const auto per_op = static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
-                    .count() /
-                static_cast<std::int64_t>(b));
-            for (std::size_t i = 0; i < b; ++i) {
-              mine.latency[static_cast<unsigned>(types[i])].record(per_op);
+          if (nb > 0) {
+            const bool timed = (batches % kLatencySampleEvery) == 0;
+            std::chrono::steady_clock::time_point t0;
+            if (timed) t0 = std::chrono::steady_clock::now();
+            container_apply_batch(c, ops.data(), nb, results.data());
+            if (timed) {
+              const auto dt = std::chrono::steady_clock::now() - t0;
+              const auto per_op = static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                      .count() /
+                  static_cast<std::int64_t>(nb));
+              for (std::size_t i = 0; i < nb; ++i) {
+                mine.latency[static_cast<unsigned>(types[i])].record(per_op);
+              }
             }
-          }
-          for (std::size_t i = 0; i < b; ++i) {
-            ++mine.ops[static_cast<unsigned>(types[i])];
+            for (std::size_t i = 0; i < nb; ++i) {
+              ++mine.ops[static_cast<unsigned>(types[i])];
+            }
           }
           ++batches;
         }
         return;
       }
       barrier.arrive_and_wait();
+      RangeOut scan_buf;  // reused per thread: capacity survives the clear
       std::uint64_t n = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const OpType op = spec.mix.pick(dice);
@@ -203,6 +242,10 @@ PhaseResult run_phase(Engine& c, const PhaseSpec& spec, int threads,
             break;
           case OpType::kErase:
             c.erase(key);
+            break;
+          case OpType::kScan:
+            scan_buf.clear();
+            container_scan(c, key, kScanSpan, kScanLimit, scan_buf);
             break;
         }
         if (timed) {

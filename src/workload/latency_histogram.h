@@ -3,7 +3,12 @@
 // octave splits into 2^kSubBits linear sub-buckets, so every recorded
 // value lands in a bucket whose width is ≤ 1/2^kSubBits (6.25%) of the
 // value — percentile error bounded by the bucket width, with a fixed
-// ~1000-entry footprint covering the full uint64 nanosecond range.
+// ~500-entry footprint covering [0, 2^36) nanoseconds (~69 seconds — far
+// beyond any sane single-op latency). Values at or above kMaxTrackable
+// saturate EXPLICITLY into the top bucket: they are counted there (so
+// totals and high percentiles stay honest rather than silently indexing
+// out of range) and tallied separately in saturated(), which the bench
+// JSON exposes so a nonzero value is visible in the artifact.
 //
 // Hot-path cost of record(): one bit-scan, one shift, one add — no
 // allocation, no branch on the bucket count. The driver keeps one
@@ -23,12 +28,19 @@ class LatencyHistogram {
  public:
   static constexpr unsigned kSubBits = 4;
   static constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;
+  // Tracked range: [0, 2^kTrackedBits) ns. Everything at or above
+  // kMaxTrackable clamps into the last bucket (and bumps saturated_).
+  static constexpr unsigned kTrackedBits = 36;
+  static constexpr std::uint64_t kMaxTrackable = std::uint64_t{1}
+                                                 << kTrackedBits;
   // Values < kSubCount get exact unit buckets [0..kSubCount); each octave
-  // [2^m, 2^(m+1)) for m in [kSubBits, 64) contributes kSubCount more.
+  // [2^m, 2^(m+1)) for m in [kSubBits, kTrackedBits) contributes kSubCount
+  // more. bucket_of(kMaxTrackable − 1) == kBuckets − 1 exactly.
   static constexpr std::size_t kBuckets =
-      kSubCount + (64 - kSubBits) * kSubCount;
+      kSubCount + (kTrackedBits - kSubBits) * kSubCount;
 
   static std::size_t bucket_of(std::uint64_t v) {
+    if (v >= kMaxTrackable) v = kMaxTrackable - 1;  // top-bucket saturation
     if (v < kSubCount) return static_cast<std::size_t>(v);
     const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
     const unsigned shift = msb - kSubBits;
@@ -47,6 +59,7 @@ class LatencyHistogram {
   }
 
   void record(std::uint64_t nanos) {
+    if (nanos >= kMaxTrackable) ++saturated_;  // counted in-bucket too
     ++counts_[bucket_of(nanos)];
     ++total_;
   }
@@ -54,9 +67,14 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other) {
     for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
     total_ += other.total_;
+    saturated_ += other.saturated_;
   }
 
   std::uint64_t total() const { return total_; }
+
+  // How many recorded samples were ≥ kMaxTrackable (clamped into the top
+  // bucket). A nonzero value means top-percentile numbers are floors.
+  std::uint64_t saturated() const { return saturated_; }
 
   // Value v such that at least q of the recorded samples are ≤ v: the
   // UPPER edge of the bucket holding the ⌈q·total⌉-th sample (upper so
@@ -73,11 +91,13 @@ class LatencyHistogram {
     for (std::size_t i = 0; i < kBuckets; ++i) {
       seen += counts_[i];
       if (seen >= rank) {
+        // Top bucket reports the largest trackable value (saturated
+        // samples clamp there; saturated() flags when that happened).
         return i + 1 < kBuckets ? bucket_lower_bound(i + 1) - 1
-                                : ~std::uint64_t{0};
+                                : kMaxTrackable - 1;
       }
     }
-    return ~std::uint64_t{0};  // unreachable: seen reaches total_ ≥ rank
+    return kMaxTrackable - 1;  // unreachable: seen reaches total_ ≥ rank
   }
 
   std::uint64_t p50() const { return percentile(0.50); }
@@ -88,6 +108,7 @@ class LatencyHistogram {
  private:
   std::uint64_t counts_[kBuckets] = {};
   std::uint64_t total_ = 0;
+  std::uint64_t saturated_ = 0;
 };
 
 }  // namespace llxscx::workload

@@ -21,9 +21,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <set>
 #include <string>
+#include <thread>
 #include <type_traits>
+#include <vector>
 
 #include "ds/bst_llxscx.h"
 #include "ds/chromatic_llxscx.h"
@@ -244,6 +248,113 @@ TYPED_TEST(ContainerConformance, StressMatchesLockedOracle) {
   }
   Epoch::drain_all_for_testing();
   EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// --- range / scan conformance (DESIGN.md §15) ------------------------------
+
+// container_range over ANY engine equals the sorted filter of a quiescent
+// oracle, and the output is strictly ascending — for sharded wrappers the
+// ascending check IS the k-way-merge-ordered + duplicate-free claim.
+// Distinct keys with value/count 1 so every family represents the state
+// identically in its ⟨key, value⟩ view.
+TYPED_TEST(ContainerConformance, RangeMatchesSortedOracleQuiescent) {
+  {
+    TypeParam c;
+    Xoshiro256 rng(0x7A4E);
+    std::set<std::uint64_t> oracle;
+    while (oracle.size() < 200) {
+      const std::uint64_t k = 1 + rng.below(1000);
+      if (oracle.insert(k).second) ASSERT_TRUE(c.insert(k, 1));
+    }
+    const std::pair<std::uint64_t, std::uint64_t> windows[] = {
+        {0, ~std::uint64_t{0}}, {100, 500}, {1, 1}, {900, 2000}, {600, 599}};
+    for (const auto& [lo, hi] : windows) {
+      RangeOut expect;
+      for (const std::uint64_t k : oracle) {
+        if (k >= lo && k <= hi) expect.emplace_back(k, 1);
+      }
+      RangeOut got;
+      EXPECT_EQ(container_range(c, lo, hi, got), expect.size())
+          << "[" << lo << ", " << hi << "]";
+      EXPECT_EQ(got, expect) << "[" << lo << ", " << hi << "]";
+      for (std::size_t i = 1; i < got.size(); ++i) {
+        ASSERT_LT(got[i - 1].first, got[i].first)
+            << "range output must be strictly ascending (ordered and "
+               "duplicate-free)";
+      }
+    }
+    // The bounded scan verbs stay within the engine and within the limit.
+    RangeOut sample;
+    const std::size_t n = container_scan_n(c, 50, sample);
+    EXPECT_EQ(n, 50u);
+    for (const auto& [k, v] : sample) {
+      EXPECT_TRUE(oracle.count(k)) << "scan_n invented key " << k;
+    }
+    EXPECT_EQ(drained_outstanding(c), 0u);
+  }
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
+}
+
+// Scans under concurrent DISJOINT churn: stable keys 1000, 1002, ... stay
+// put while updaters hammer 1..64. Every round's range over the stable
+// window must return EXACTLY the stable evens — a never-inserted key in
+// the window (or a missing stable key) is a torn read. Keyed families
+// only: sequence erase pops arbitrary elements, so nothing is stable.
+// Ends with the drain-to-zero assertion: scans must not strand garbage.
+TYPED_TEST(ContainerConformance, RangeStableUnderDisjointChurn) {
+  if constexpr (!kKeyedErase<TypeParam>) {
+    GTEST_SKIP() << "sequence pops are key-independent — no stable window";
+  } else {
+    constexpr std::uint64_t kStableBase = 1000;
+    constexpr std::size_t kStable = 64;  // evens present, odds never inserted
+    constexpr int kUpdaters = 2;
+    {
+      TypeParam c;
+      for (std::size_t i = 0; i < kStable; i += 2) {
+        ASSERT_TRUE(c.insert(kStableBase + i, 1));
+      }
+      std::atomic<bool> stop{false};
+      std::vector<std::thread> updaters;
+      for (int t = 0; t < kUpdaters; ++t) {
+        updaters.emplace_back([&c, &stop, t] {
+          Xoshiro256 rng(0x5CAA + static_cast<unsigned>(t));
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::uint64_t key = 1 + rng.below(64);  // disjoint range
+            if (rng.percent(50)) {
+              c.insert(key, 1);
+            } else {
+              c.erase(key);
+            }
+          }
+        });
+      }
+      RangeOut got;
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(
+              std::max<std::uint64_t>(100, testing::stress_millis() / 4));
+      std::uint64_t rounds = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        got.clear();
+        const std::size_t n =
+            container_range(c, kStableBase, kStableBase + kStable - 1, got);
+        ASSERT_EQ(n, kStable / 2) << "round " << rounds;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].first, kStableBase + 2 * i)
+              << "round " << rounds
+              << ": stable window torn (wrong/missing/invented key)";
+        }
+        ++rounds;
+      }
+      stop.store(true);
+      for (auto& th : updaters) th.join();
+      EXPECT_GT(rounds, 0u);
+      EXPECT_EQ(drained_outstanding(c), 0u) << "drain-to-zero after scans";
+    }
+    Epoch::drain_all_for_testing();
+    EXPECT_EQ(Epoch::outstanding(), 0u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,282 @@
+// Range scans and sorted-run bulk builds (DESIGN.md §15).
+//
+// What is pinned here:
+//   - range() on the trees is read-pure: 0 LLX, 0 CAS, 0 shared writes,
+//     0 allocations per clean attempt — the walk plus its VLX witnesses
+//     are the WHOLE cost (for the BST's known right-chain shape the
+//     shared-read count is pinned EXACTLY);
+//   - insert_all() commits ONE SCX per leaf group: 1..32 into an empty
+//     BST is exactly 2 SCXs (two 16-key groups), into an empty Patricia
+//     exactly 3 (the trie's branch intervals bound the middle group);
+//   - insert_all() is observationally equivalent to the scalar insert
+//     loop: same return count, identical quiescent items(), and on the
+//     chromatic tree a clean consistency audit (the ≤1-violation-per-
+//     group weight discipline feeds the existing cleanup);
+//   - the multiset's range() walks its window in ascending order and the
+//     hash map's scan_n() is a bounded, duplicate-free sample.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ds/bst_llxscx.h"
+#include "ds/chromatic_llxscx.h"
+#include "ds/container_api.h"
+#include "ds/hashmap_llxscx.h"
+#include "ds/multiset_llxscx.h"
+#include "ds/patricia_llxscx.h"
+#include "reclaim/epoch.h"
+#include "service/sharded_map.h"
+#include "util/random.h"
+
+#include "tests/test_common.h"
+
+namespace llxscx {
+namespace {
+
+using Pair = std::pair<std::uint64_t, std::uint64_t>;
+
+// --- range(): read-purity and the exact BST read count ---------------------
+
+// Inserting 1..N ascending builds the known right-chain: root(inf2) and
+// internal(inf1) on top, then internal(2..N) chaining right, leaves 1..N.
+// A [1, N] scan therefore costs EXACTLY:
+//   witness capture   2 reads (info, state) × (N+1) internals visited
+//   child edges       1 at root + 1 at internal(inf1) (right subtrees are
+//                     pruned by scan_dir) + 2 at each of internal(2..N)
+//                     = 2N counted reads
+//   final VLX         1 read per witness = N+1
+// total = 2(N+1) + 2N + (N+1) = 5N + 3. Leaves cost nothing (payloads are
+// immutable; their reachability is covered by the parent's witness).
+TEST(RangeShape, BstScanReadsPinnedExactly) {
+  if constexpr (!kStepCounting) {
+    GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  } else {
+    constexpr std::uint64_t kN = 64;
+    LlxScxBst t;
+    for (std::uint64_t k = 1; k <= kN; ++k) ASSERT_TRUE(t.insert(k, k));
+    std::vector<Pair> out;
+    const StepCounts s = steps_of([&] { t.range(1, kN, out); });
+    EXPECT_EQ(out.size(), kN);
+    EXPECT_EQ(s.shared_reads, 5 * kN + 3) << "walk + witnesses + VLX only";
+    EXPECT_EQ(s.llx_calls, 0u);
+    EXPECT_EQ(s.cas, 0u);
+    EXPECT_EQ(s.shared_writes, 0u);
+    EXPECT_EQ(s.allocations, 0u);
+  }
+}
+
+// The 0-LLX / 0-CAS / 0-write / 0-alloc shape holds on every tree, not
+// just the chain — a quiescent scan never retries, so one attempt is the
+// whole cost (Proposition 2 extended to multi-node reads by VLX).
+template <class Tree>
+void expect_read_pure_range() {
+  Tree t;
+  for (std::uint64_t k = 1; k <= 512; ++k) ASSERT_TRUE(t.insert(k, k + 7));
+  std::vector<Pair> out;
+  const StepCounts s = steps_of([&] { t.range(100, 300, out); });
+  ASSERT_EQ(out.size(), 201u) << Tree::kName;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].first, 100 + i) << Tree::kName;
+    ASSERT_EQ(out[i].second, out[i].first + 7) << Tree::kName;
+  }
+  EXPECT_EQ(s.llx_calls, 0u) << Tree::kName;
+  EXPECT_EQ(s.cas, 0u) << Tree::kName;
+  EXPECT_EQ(s.shared_writes, 0u) << Tree::kName;
+  EXPECT_EQ(s.allocations, 0u) << Tree::kName;
+}
+
+TEST(RangeShape, ZeroUpdateStepsOnEveryTree) {
+  if constexpr (!kStepCounting) {
+    GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  } else {
+    expect_read_pure_range<LlxScxBst>();
+    expect_read_pure_range<LlxScxPatricia>();
+    expect_read_pure_range<LlxScxChromatic>();
+  }
+}
+
+// Empty window, reversed bounds, and out-append discipline.
+TEST(RangeShape, WindowEdgeCases) {
+  LlxScxChromatic t;
+  for (std::uint64_t k = 10; k <= 50; k += 10) ASSERT_TRUE(t.insert(k, k));
+  std::vector<Pair> out{{1, 1}};  // pre-existing content must survive
+  EXPECT_EQ(t.range(11, 19, out), 0u);
+  EXPECT_EQ(t.range(30, 10, out), 0u);  // lo > hi
+  EXPECT_EQ(t.range(20, 40, out), 3u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], (Pair{1, 1}));
+  EXPECT_EQ(out[1], (Pair{20, 20}));
+  EXPECT_EQ(out[3], (Pair{40, 40}));
+  EXPECT_EQ(t.range(0, ~std::uint64_t{0}, out), 5u)
+      << "full-range scan must not see the sentinels";
+}
+
+// --- insert_all(): one SCX per leaf group -----------------------------------
+
+// 1..32 into an empty BST: the first walk lands on the inf1 sentinel leaf
+// and takes keys 1..16 (the group cap); the rebuilt subtree's rightmost
+// leaf is inf1 again, so the second walk lands beside key 16 and takes
+// 17..32. Two groups ⇒ exactly 2 SCXs and 4 LLXs (one ⟨p, t⟩ pair per
+// group), each SCX freezing |V| = 2 records ⇒ 3 CAS each.
+TEST(InsertAllShape, BstOneScxPerLeafGroup) {
+  if constexpr (!kStepCounting) {
+    GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  } else {
+    LlxScxBst t;
+    std::uint64_t keys[32];
+    for (std::uint64_t i = 0; i < 32; ++i) keys[i] = i + 1;
+    std::size_t inserted = 0;
+    const StepCounts s = steps_of([&] { inserted = t.insert_all(keys, 32, 5); });
+    EXPECT_EQ(inserted, 32u);
+    EXPECT_EQ(s.scx_calls, 2u) << "one SCX per 16-key leaf group";
+    EXPECT_EQ(s.scx_fail, 0u);
+    EXPECT_EQ(s.llx_calls, 4u);
+    EXPECT_EQ(s.cas, 6u) << "k+1 = 3 CAS per SCX, |V| = {parent, leaf}";
+    EXPECT_EQ(t.size(), 32u);
+  }
+}
+
+// Same run into an empty Patricia: group one (1..16) lands at the
+// sentinel; the second walk descends INTO the fresh trie and bottoms out
+// under the bit-4 branch, whose routing interval [16, 31] bounds the
+// group at 17..31; key 32 goes alone. Three groups ⇒ exactly 3 SCXs.
+TEST(InsertAllShape, PatriciaGroupsBoundedByBranchIntervals) {
+  if constexpr (!kStepCounting) {
+    GTEST_SKIP() << "built with LLXSCX_COUNT_STEPS=OFF";
+  } else {
+    LlxScxPatricia t;
+    std::uint64_t keys[32];
+    for (std::uint64_t i = 0; i < 32; ++i) keys[i] = i + 1;
+    std::size_t inserted = 0;
+    const StepCounts s = steps_of([&] { inserted = t.insert_all(keys, 32, 5); });
+    EXPECT_EQ(inserted, 32u);
+    EXPECT_EQ(s.scx_calls, 3u) << "16 at the sentinel, 15 under the bit-4 "
+                                  "branch, 32 alone";
+    EXPECT_EQ(s.scx_fail, 0u);
+    EXPECT_EQ(s.llx_calls, 6u);
+    EXPECT_EQ(t.size(), 32u);
+  }
+}
+
+// --- insert_all(): scalar equivalence ---------------------------------------
+
+template <class C>
+void expect_bulk_matches_scalar(const std::vector<std::uint64_t>& run,
+                                std::uint64_t value) {
+  C bulk, scalar;
+  const std::size_t via_bulk =
+      container_insert_all(bulk, run.data(), run.size(), value);
+  std::size_t via_scalar = 0;
+  for (const std::uint64_t k : run) {
+    if (scalar.insert(k, value)) ++via_scalar;
+  }
+  EXPECT_EQ(via_bulk, via_scalar) << C::kName;
+  EXPECT_EQ(bulk.size(), scalar.size()) << C::kName;
+  // The quiescent full-range view is the whole observable state of a map.
+  RangeOut got, want;
+  container_range(bulk, 0, ~std::uint64_t{0}, got);
+  container_range(scalar, 0, ~std::uint64_t{0}, want);
+  EXPECT_EQ(got, want) << C::kName;
+  if constexpr (requires { bulk.consistency_error(); }) {
+    EXPECT_EQ(bulk.consistency_error(), std::nullopt)
+        << C::kName << ": group weights must leave a balanced tree "
+        << "(≤1 violation per group, cleaned by the insert catalog)";
+  }
+}
+
+template <class C>
+void run_bulk_equivalence() {
+  Xoshiro256 rng(0xB17D);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::uint64_t> run;
+    const std::size_t n = 1 + rng.below(600);
+    for (std::size_t i = 0; i < n; ++i) {
+      run.push_back(1 + rng.below(512));  // dense: dups and regroups galore
+    }
+    std::sort(run.begin(), run.end());
+    expect_bulk_matches_scalar<C>(run, 42);
+  }
+  // The ascending dense run — the bench's grow stream.
+  std::vector<std::uint64_t> seq;
+  for (std::uint64_t k = 1; k <= 1000; ++k) seq.push_back(k);
+  expect_bulk_matches_scalar<C>(seq, 7);
+}
+
+TEST(InsertAllEquivalence, Bst) { run_bulk_equivalence<LlxScxBst>(); }
+TEST(InsertAllEquivalence, Patricia) {
+  run_bulk_equivalence<LlxScxPatricia>();
+}
+TEST(InsertAllEquivalence, Chromatic) {
+  run_bulk_equivalence<LlxScxChromatic>();
+}
+TEST(InsertAllEquivalence, ShardedChromatic) {
+  run_bulk_equivalence<ShardedMap<LlxScxChromatic>>();
+}
+
+// Re-running a run over existing keys inserts nothing and changes nothing.
+TEST(InsertAllEquivalence, IdempotentOverExistingKeys) {
+  LlxScxChromatic t;
+  std::vector<std::uint64_t> run;
+  for (std::uint64_t k = 2; k <= 256; k += 2) run.push_back(k);
+  EXPECT_EQ(t.insert_all(run.data(), run.size(), 1), run.size());
+  EXPECT_EQ(t.insert_all(run.data(), run.size(), 1), 0u);
+  EXPECT_EQ(t.size(), run.size());
+  EXPECT_EQ(t.consistency_error(), std::nullopt);
+}
+
+// --- multiset range / hashmap scan_n ----------------------------------------
+
+TEST(MultisetRange, AscendingWindowWithCounts) {
+  LlxScxMultiset m;
+  for (std::uint64_t k = 1; k <= 20; ++k) m.insert(k, k % 3 + 1);
+  std::vector<Pair> out;
+  EXPECT_EQ(m.range(5, 9, out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].first, 5 + i);
+    EXPECT_EQ(out[i].second, (5 + i) % 3 + 1);
+  }
+}
+
+TEST(HashMapScanN, BoundedDuplicateFreeSample) {
+  LlxScxHashMap m;
+  for (std::uint64_t k = 1; k <= 100; ++k) ASSERT_TRUE(m.insert(k, k * 2));
+  std::vector<Pair> out;
+  EXPECT_EQ(m.scan_n(10, out), 10u);
+  std::set<std::uint64_t> seen;
+  for (const Pair& p : out) {
+    EXPECT_TRUE(p.first >= 1 && p.first <= 100);
+    EXPECT_EQ(p.second, p.first * 2);
+    EXPECT_TRUE(seen.insert(p.first).second) << "duplicate " << p.first;
+  }
+  out.clear();
+  EXPECT_EQ(m.scan_n(1000, out), 100u) << "limit past size returns all";
+}
+
+// container_scan routes: ordered engines answer the window, the hash map
+// answers a bounded sample — both bounded by limit.
+TEST(ContainerScan, RoutesPerEngineShape) {
+  LlxScxChromatic tree;
+  LlxScxHashMap map;
+  for (std::uint64_t k = 1; k <= 300; ++k) {
+    tree.insert(k, k);
+    map.insert(k, k);
+  }
+  std::vector<Pair> out;
+  EXPECT_EQ(container_scan(tree, 50, 100, 100, out), 100u);
+  EXPECT_EQ(out.front().first, 50u);
+  EXPECT_EQ(out.back().first, 149u);
+  out.clear();
+  EXPECT_EQ(container_scan(map, 50, 100, 100, out), 100u);
+  // Saturating upper bound: a window at the top of the key space clamps.
+  out.clear();
+  LlxScxBst b;
+  b.insert(5, 5);
+  EXPECT_EQ(container_scan(b, ~std::uint64_t{0} - 10, 100, 100, out), 0u);
+}
+
+}  // namespace
+}  // namespace llxscx

@@ -180,6 +180,33 @@ TEST(OpMix, ParserAcceptsNamesAndCustomTriples) {
   EXPECT_FALSE(parse_op_mix("", buf, sizeof(buf)));
 }
 
+TEST(OpMix, ScanPresetAndQuadParser) {
+  char buf[32];
+  auto e = parse_op_mix("ycsb-e", buf, sizeof(buf));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->scan_pct, 95u);
+  EXPECT_EQ(e->insert_pct, 5u);
+  auto quad = parse_op_mix("10:20:30:40", buf, sizeof(buf));
+  ASSERT_TRUE(quad.has_value());
+  EXPECT_EQ(quad->read_pct, 10u);
+  EXPECT_EQ(quad->scan_pct, 40u);
+  EXPECT_STREQ(quad->name, "10:20:30:40");
+  EXPECT_FALSE(parse_op_mix("10:20:30:50", buf, sizeof(buf)));  // sums to 110
+  EXPECT_FALSE(parse_op_mix("10:20:30:40:0", buf, sizeof(buf)));
+  // The three-field form still parses and leaves scan_pct zeroed.
+  auto triple = parse_op_mix("50:25:25", buf, sizeof(buf));
+  ASSERT_TRUE(triple.has_value());
+  EXPECT_EQ(triple->scan_pct, 0u);
+  // pick() honors the fourth band.
+  Xoshiro256 rng(9);
+  std::uint64_t scans = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    scans += kYcsbE.pick(rng) == OpType::kScan ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(scans) / kDraws, 0.95, 0.02);
+}
+
 // -------------------------------------------------------------- histogram
 
 TEST(LatencyHistogram, BucketBoundsContainTheirValues) {
@@ -239,6 +266,36 @@ TEST(LatencyHistogram, EmptyReportsZero) {
   EXPECT_EQ(h.total(), 0u);
   EXPECT_EQ(h.p50(), 0u);
   EXPECT_EQ(h.p999(), 0u);
+}
+
+// Explicit top-bucket saturation: the largest trackable value is NOT
+// saturated; kMaxTrackable and beyond clamp into the last bucket, are
+// counted in total(), tallied in saturated(), and cap every percentile at
+// kMaxTrackable − 1 — no sample ever indexes past the array.
+TEST(LatencyHistogram, TopBucketSaturationPinned) {
+  EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::kMaxTrackable - 1),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::kMaxTrackable),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+
+  LatencyHistogram h;
+  h.record(LatencyHistogram::kMaxTrackable - 1);  // boundary: in range
+  EXPECT_EQ(h.saturated(), 0u);
+  h.record(LatencyHistogram::kMaxTrackable);  // boundary: first saturated
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.saturated(), 2u);
+  EXPECT_EQ(h.total(), 3u) << "saturated samples still count";
+  EXPECT_EQ(h.p50(), LatencyHistogram::kMaxTrackable - 1);
+  EXPECT_EQ(h.p999(), LatencyHistogram::kMaxTrackable - 1)
+      << "top percentile is a floor, flagged via saturated()";
+
+  LatencyHistogram other;
+  other.record(~std::uint64_t{0});
+  h.merge(other);
+  EXPECT_EQ(h.saturated(), 3u) << "merge sums the saturation tallies";
+  EXPECT_EQ(h.total(), 4u);
 }
 
 // ------------------------------------------------------------- the driver
@@ -313,6 +370,44 @@ TEST(WorkloadDriver, SmokeHashMapConservesOpCounts) {
 TEST(WorkloadDriver, SmokeShardedChromaticConservesOpCounts) {
   drive_and_check<ShardedMap<LlxScxChromatic>>();
   Epoch::drain_all_for_testing();
+}
+
+// The scan-heavy class: a ycsb-e phase must execute and SAMPLE scans —
+// in scalar dispatch, and in batched dispatch too (scans have no BatchOp
+// kind, so the driver runs them scalar inline without consuming batch
+// slots; conservation must still hold).
+template <class Engine>
+void drive_scans(int batch) {
+  constexpr std::uint64_t kSpace = 1 << 10;
+  Engine c;
+  for (std::uint64_t k = 1; k <= kSpace; ++k) c.insert(k, 1);
+  RegimeSpec regime;
+  regime.phases.push_back(
+      {"steady", kYcsbE, KeyStreamSpec::uniform(kSpace), 40, batch});
+  const std::vector<PhaseResult> phases = run_regime(c, regime, 2, 0xE13);
+  ASSERT_EQ(phases.size(), 1u);
+  const PhaseResult& ph = phases[0];
+  const OpTypeResult& sc = ph.type(OpType::kScan);
+  EXPECT_GT(sc.ops, 0u) << "batch=" << batch;
+  EXPECT_GT(sc.latency.total(), 0u)
+      << "batch=" << batch << ": scans must be latency-sampled";
+  std::uint64_t sum = 0;
+  for (unsigned t = 0; t < kNumOpTypes; ++t) sum += ph.per_type[t].ops;
+  EXPECT_EQ(sum, ph.total_ops) << "batch=" << batch;
+  if (ph.total_ops >= 3000) {
+    const double share =
+        static_cast<double>(sc.ops) / static_cast<double>(ph.total_ops);
+    EXPECT_NEAR(share, 0.95, 0.06) << "batch=" << batch;
+  }
+}
+
+TEST(WorkloadDriver, ScanOpsRunScalarAndInsideBatchedPhases) {
+  drive_scans<LlxScxChromatic>(1);
+  drive_scans<LlxScxChromatic>(8);
+  drive_scans<LlxScxHashMap>(1);
+  drive_scans<ShardedMap<LlxScxChromatic>>(8);
+  Epoch::drain_all_for_testing();
+  EXPECT_EQ(Epoch::outstanding(), 0u);
 }
 
 }  // namespace
